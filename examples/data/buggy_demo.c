@@ -1,0 +1,26 @@
+/* buggy_demo.c — three genuine defects for demonstrating alarm
+   reporting and the alarm-investigation slicer:
+     1. a division whose divisor crosses zero,
+     2. an out-of-bounds table read,
+     3. an integer accumulator that overflows.  */
+
+volatile int channel;       /* [0, 8], but the table has 8 entries */
+volatile float measure;     /* [-100, 100] */
+
+float table[8];
+float selected;
+float ratio;
+int accum;
+
+int main(void) {
+  __astree_input_range(channel, 0.0, 8.0);
+  __astree_input_range(measure, -100.0, 100.0);
+  selected = 0.0f; ratio = 0.0f; accum = 1;
+  while (1) {
+    selected = table[channel];                  /* (2) channel may be 8 */
+    ratio = measure / (float)(channel - 4);     /* (1) channel may be 4 */
+    accum = accum * 2;                          /* (3) unbounded doubling */
+    __astree_wait_for_clock();
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+/* filter_bank.c — a bank of three cascaded second-order filters, each
+   with its own coefficients; the cascade means filter i+1's input is
+   filter i's (ellipsoid-bounded) output. */
+
+volatile float source;
+volatile _Bool reset_all;
+
+float x1; float y1;
+float x2; float y2;
+float x3; float y3;
+short out_reg;
+
+void stage1(void) {
+  float t;
+  t = source;
+  if (reset_all) { y1 = t; x1 = t; }
+  else { float n; n = 1.2f * x1 - 0.54f * y1 + t; y1 = x1; x1 = n; }
+}
+
+void stage2(void) {
+  float t;
+  t = 0.1f * x1;                 /* bounded by stage 1's invariant */
+  if (reset_all) { y2 = t; x2 = t; }
+  else { float n; n = 1.5f * x2 - 0.7f * y2 + t; y2 = x2; x2 = n; }
+}
+
+void stage3(void) {
+  float t;
+  t = 0.1f * x2;
+  if (reset_all) { y3 = t; x3 = t; }
+  else { float n; n = -0.9f * x3 - 0.4f * y3 + t; y3 = x3; x3 = n; }
+}
+
+int main(void) {
+  __astree_input_range(source, -1.0, 1.0);
+  __astree_input_range(reset_all, 0.0, 1.0);
+  x1 = 0.0f; y1 = 0.0f; x2 = 0.0f; y2 = 0.0f; x3 = 0.0f; y3 = 0.0f;
+  out_reg = 0;
+  while (1) {
+    stage1();
+    stage2();
+    stage3();
+    out_reg = (short)(x3 * 100.0f);
+    __astree_wait_for_clock();
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+/* mini_fbw.c — a miniature "fly-by-wire" control loop exercising every
+   idiom the ASTRÉE paper attributes to its program family:
+   clock-bounded event counters, a rate limiter (octagons), a
+   second-order filter (ellipsoids), stored boolean tests (decision
+   trees), an interpolation table, and a piecewise computation needing
+   trace partitioning. */
+/* astree-partition: select_gain */
+
+#define STICK_MAX 100.0f
+#define RATE_STEP 2.0f
+#define TAB_N 6
+
+/* ---- environment ---- */
+volatile float stick;       /* pilot stick position */
+volatile float sensor;      /* airspeed-ish measurement */
+volatile _Bool in_failure;  /* discrete failure flag */
+volatile int mode;          /* flight mode selector */
+
+/* ---- state ---- */
+float cmd_limited;          /* rate-limited command */
+float cmd_prev;
+float filt_x;               /* filter state */
+float filt_y;
+int   failure_count;
+int   mode_now;             /* snapshot of the volatile mode selector */
+_Bool no_signal;
+float gain;
+float interp_out;
+short actuator;
+
+const float gain_tab[TAB_N] = { 0.5f, 0.8f, 1.0f, 1.2f, 1.5f, 1.7f };
+
+/* rate limiter: the paper's Sect. 6.2.2 fragment */
+void limit_rate(void) {
+  float r;
+  float x;
+  x = stick;
+  r = x - cmd_prev;
+  cmd_limited = x;
+  if (r > RATE_STEP) { cmd_limited = cmd_prev + RATE_STEP; }
+  cmd_prev = cmd_limited;
+}
+
+/* second-order low-pass filter: Fig. 1 */
+void filter_input(void) {
+  float t;
+  t = sensor;
+  if (in_failure) {
+    filt_y = t;
+    filt_x = t;
+  } else {
+    float x2;
+    x2 = 1.4f * filt_x - 0.68f * filt_y + t;
+    filt_y = filt_x;
+    filt_x = x2;
+  }
+}
+
+/* stored test, retrieved later: Sect. 6.2.4 / 10 */
+void check_signal(void) {
+  mode_now = mode;            /* read the volatile register once */
+  no_signal = (mode_now == 0);
+  if (in_failure) { failure_count = failure_count + 1; }
+}
+
+/* gain interpolation over a constant table */
+void interpolate(void) {
+  float x;
+  int k;
+  float fr;
+  x = stick * 0.05f;          /* in [-5, 5] */
+  if (x < 0.0f) { x = -x; }
+  k = (int)x;
+  if (k > TAB_N - 2) { k = TAB_N - 2; }
+  fr = x - (float)k;
+  interp_out = gain_tab[k] + (gain_tab[k + 1] - gain_tab[k]) * fr;
+}
+
+/* piecewise gain: safe per-branch, needs trace partitioning */
+void select_gain(void) {
+  float den;
+  float num;
+  float s;
+  s = sensor;
+  if (s < -10.0f)      { den = -4.0f; num = 2.0f; }
+  else if (s > 10.0f)  { den = 4.0f;  num = 2.0f; }
+  else                 { den = 2.0f;  num = 1.0f; }
+  gain = num / den;
+}
+
+int main(void) {
+  __astree_input_range(stick, -100.0, 100.0);
+  __astree_input_range(sensor, -50.0, 50.0);
+  __astree_input_range(in_failure, 0.0, 1.0);
+  __astree_input_range(mode, 0.0, 5.0);
+
+  cmd_limited = 0.0f; cmd_prev = 0.0f;
+  filt_x = 0.0f; filt_y = 0.0f;
+  failure_count = 0;
+  mode_now = 0;
+  no_signal = 0;
+  gain = 0.5f;
+  interp_out = 0.0f;
+  actuator = 0;
+
+  while (1) {
+    limit_rate();
+    filter_input();
+    check_signal();
+    interpolate();
+    select_gain();
+    if (!no_signal) {
+      /* mode_now >= 1 here thanks to the stored test (Sect. 6.2.4) */
+      actuator = (short)(cmd_limited * gain * interp_out * 10.0f / (float)mode_now);
+    }
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
