@@ -1,0 +1,1 @@
+bin/astree.ml: Arg Astree_core Astree_domains Astree_frontend Astree_slicer Cmd Cmdliner Fmt List Str String Term

@@ -1,0 +1,1 @@
+bin/genfamily.ml: Arg Astree_gen Cmd Cmdliner Fmt Term

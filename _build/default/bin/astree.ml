@@ -1,0 +1,133 @@
+(* The analyzer command-line interface.
+
+   Usage:  astree [options] file.c [more-files.c ...]
+
+   Exposes the end-user parameters of Sect. 7: domain selection, widening
+   thresholds, unrolling factors, trace-partitioned functions, decision-
+   tree pack bounds, and the useful-octagon-pack reuse of Sect. 7.2.2. *)
+
+module C = Astree_core
+module F = Astree_frontend
+module S = Astree_slicer
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
+    partitioned max_dt_bools useful_packs dump_invariants dump_census
+    slice_alarms verbose =
+  if files = [] then `Error (false, "no input files")
+  else
+    try
+      let cfg =
+        {
+          C.Config.default with
+          C.Config.use_octagons = not no_oct;
+          use_ellipsoids = not no_ell;
+          use_decision_trees = not no_dt;
+          use_clocked = not no_clock;
+          use_linearization = not no_lin;
+          widening_thresholds =
+            (if no_thresholds then Astree_domains.Thresholds.none
+             else Astree_domains.Thresholds.default);
+          loop_unroll = unroll;
+          partitioned_functions = partitioned;
+          max_dtree_bools = max_dt_bools;
+          useful_packs_only =
+            (match useful_packs with
+            | [] -> None
+            | ids -> Some ("cli", ids));
+        }
+      in
+      let sources = List.map (fun f -> (f, read_file f)) files in
+      (* honor "/* astree-partition: f g ... */" markers unless the user
+         supplied an explicit partition list *)
+      let cfg =
+        if partitioned <> [] then cfg
+        else
+          let marked =
+            List.concat_map
+              (fun (_, src) ->
+                let re = Str.regexp "astree-partition: \\([^*]*\\)\\*/" in
+                try
+                  ignore (Str.search_forward re src 0);
+                  String.split_on_char ' '
+                    (String.trim (Str.matched_group 1 src))
+                with Not_found -> [])
+              sources
+          in
+          if marked = [] then cfg
+          else { cfg with C.Config.partitioned_functions = marked }
+      in
+      let p, _stats = C.Analysis.compile ~main sources in
+      let r = C.Analysis.analyze ~cfg p in
+      Fmt.pr "%a@." C.Analysis.pp_result r;
+      if verbose then
+        Fmt.pr "useful octagon packs: %a@."
+          Fmt.(list ~sep:comma int)
+          (C.Analysis.useful_octagon_packs r);
+      if dump_census then begin
+        match C.Invariant_census.main_loop_census r with
+        | Some c ->
+            Fmt.pr "--- main loop invariant census (Sect. 9.4.1) ---@.%a@."
+              C.Invariant_census.pp c
+        | None -> Fmt.pr "no loop invariant recorded@."
+      end;
+      if dump_invariants then
+        print_string (C.Invariant_dump.to_string r);
+      if slice_alarms && r.C.Analysis.r_alarms <> [] then begin
+        let g = S.Depgraph.build p in
+        List.iter
+          (fun (al : C.Alarm.t) ->
+            Fmt.pr "--- slice for %a ---@." C.Alarm.pp al;
+            let sl =
+              S.Slicer.slice g { S.Slicer.c_loc = al.C.Alarm.a_loc; c_vars = None }
+            in
+            Fmt.pr "%a@." S.Slicer.pp_slice sl)
+          r.C.Analysis.r_alarms
+      end;
+      if C.Analysis.n_alarms r = 0 then `Ok 0 else `Ok 1
+    with
+    | F.Lexer.Error (m, l) | F.Parser.Error (m, l) | F.Typecheck.Error (m, l)
+      ->
+        `Error (false, Fmt.str "%a: %s" F.Loc.pp l m)
+    | F.Preproc.Error (m, l) ->
+        `Error (false, Fmt.str "%a: preprocessor: %s" F.Loc.pp l m)
+    | C.Iterator.Analysis_error m -> `Error (false, m)
+
+let files_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"C source files")
+
+let main_arg =
+  Arg.(value & opt string "main" & info [ "main" ] ~doc:"Entry-point function")
+
+let flag name doc = Arg.(value & flag & info [ name ] ~doc)
+
+let cmd =
+  let doc = "abstract-interpretation analyzer for synchronous C programs" in
+  Cmd.v
+    (Cmd.info "astree" ~doc)
+    Term.(
+      ret
+        (const run $ files_arg $ main_arg
+        $ flag "no-octagons" "Disable the octagon domain (Sect. 6.2.2)"
+        $ flag "no-ellipsoids" "Disable the ellipsoid domain (Sect. 6.2.3)"
+        $ flag "no-decision-trees" "Disable decision trees (Sect. 6.2.4)"
+        $ flag "no-clock" "Disable the clocked domain (Sect. 6.2.1)"
+        $ flag "no-linearization" "Disable symbolic linearization (Sect. 6.3)"
+        $ flag "no-thresholds" "Classical widening, no thresholds (Sect. 7.1.2)"
+        $ Arg.(value & opt int 1 & info [ "unroll" ] ~doc:"Loop unrolling factor (Sect. 7.1.1)")
+        $ Arg.(value & opt (list string) [] & info [ "partition" ] ~doc:"Functions analyzed with trace partitioning (Sect. 7.1.5)")
+        $ Arg.(value & opt int 3 & info [ "max-dtree-bools" ] ~doc:"Booleans per decision-tree pack (Sect. 7.2.3)")
+        $ Arg.(value & opt (list int) [] & info [ "useful-packs" ] ~doc:"Octagon pack ids to keep (Sect. 7.2.2)")
+        $ flag "dump-invariants" "Print loop invariants"
+        $ flag "census" "Print the main-loop invariant census (Sect. 9.4.1)"
+        $ flag "slice" "Print a backward slice for each alarm (Sect. 3.3)"
+        $ flag "verbose" "Print extra statistics"))
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,40 @@
+(* Emit a member of the synthetic program family to a file (or stdout).
+
+   Usage: genfamily --kloc 5 --seed 42 -o program.c *)
+
+module G = Astree_gen
+open Cmdliner
+
+let run kloc seed bug_ratio output =
+  let g =
+    G.Generator.generate
+      {
+        G.Generator.seed;
+        target_lines = int_of_float (kloc *. 1000.0);
+        mix = G.Shapes.all_safe_kinds;
+        bug_ratio;
+      }
+  in
+  (match output with
+  | None -> print_string g.G.Generator.source
+  | Some path ->
+      let oc = open_out path in
+      output_string oc g.G.Generator.source;
+      close_out oc;
+      Fmt.pr "wrote %s: %d lines, %d shapes@." path g.G.Generator.n_lines
+        g.G.Generator.n_shapes);
+  `Ok 0
+
+let cmd =
+  let doc = "generate synthetic periodic synchronous control programs" in
+  Cmd.v
+    (Cmd.info "genfamily" ~doc)
+    Term.(
+      ret
+        (const run
+        $ Arg.(value & opt float 1.0 & info [ "kloc" ] ~doc:"Approximate size in kLOC")
+        $ Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed")
+        $ Arg.(value & opt float 0.0 & info [ "bugs" ] ~doc:"Fraction of injected defects")
+        $ Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file")))
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/alarm_investigation.ml: Array Astree_core Astree_domains Astree_frontend Astree_slicer Fmt Hashtbl List

@@ -1,0 +1,1 @@
+examples/alarm_investigation.mli:

@@ -1,0 +1,1 @@
+examples/boolean_control.ml: Astree_core Fmt List

@@ -1,0 +1,1 @@
+examples/boolean_control.mli:

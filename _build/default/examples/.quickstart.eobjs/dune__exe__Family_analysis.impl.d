@@ -1,0 +1,1 @@
+examples/family_analysis.ml: Array Astree_core Astree_gen Float Fmt List Sys Unix

@@ -1,0 +1,1 @@
+examples/filter_verification.ml: Astree_core Astree_domains Astree_frontend Float Fmt Hashtbl List

@@ -1,0 +1,1 @@
+examples/multi_file.ml: Astree_core Astree_frontend Astree_gen Fmt List String

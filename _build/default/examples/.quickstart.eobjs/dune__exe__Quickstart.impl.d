@@ -1,0 +1,1 @@
+examples/quickstart.ml: Astree_core Astree_domains Fmt Hashtbl List

@@ -1,0 +1,1 @@
+examples/rate_limiter.ml: Astree_core Astree_domains Fmt List

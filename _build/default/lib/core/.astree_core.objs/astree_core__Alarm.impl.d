@@ -1,0 +1,1 @@
+lib/core/alarm.ml: Astree_frontend Fmt Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/core/alarm.mli: Astree_frontend Format Hashtbl

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Alarm Astate Astree_domains Astree_frontend Cell Config Fmt Hashtbl Int Iterator List Packing Transfer Unix

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Alarm Astate Astree_frontend Config Format Transfer

@@ -1,0 +1,1 @@
+lib/core/astate.ml: Astree_domains Avalue Env Float_pert Relstate

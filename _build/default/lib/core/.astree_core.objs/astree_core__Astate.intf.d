@@ -1,0 +1,1 @@
+lib/core/astate.mli: Astree_domains Env Relstate

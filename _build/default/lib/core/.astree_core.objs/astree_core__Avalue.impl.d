@@ -1,0 +1,1 @@
+lib/core/avalue.ml: Astree_domains Astree_frontend

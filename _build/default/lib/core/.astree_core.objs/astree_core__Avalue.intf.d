@@ -1,0 +1,1 @@
+lib/core/avalue.mli: Astree_domains Astree_frontend Format

@@ -1,0 +1,1 @@
+lib/core/cell.ml: Array Astree_frontend Fmt Hashtbl Int List String

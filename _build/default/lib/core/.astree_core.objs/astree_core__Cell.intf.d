@@ -1,0 +1,1 @@
+lib/core/cell.mli: Astree_frontend Format

@@ -1,0 +1,1 @@
+lib/core/env.ml: Array Astree_domains Avalue Option Ptmap

@@ -1,0 +1,1 @@
+lib/core/float_pert.ml: Astree_domains Float

@@ -1,0 +1,1 @@
+lib/core/invariant_census.ml: Analysis Array Astate Astree_domains Astree_frontend Avalue Cell Env Float Fmt Hashtbl Int List Ptmap Relstate Transfer

@@ -1,0 +1,1 @@
+lib/core/invariant_census.mli: Analysis Astate Format Transfer

@@ -1,0 +1,1 @@
+lib/core/invariant_dump.ml: Analysis Astate Astree_domains Astree_frontend Avalue Buffer Cell Env Fmt Hashtbl Int List Ptmap Relstate String Transfer

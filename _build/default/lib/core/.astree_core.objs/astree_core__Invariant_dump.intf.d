@@ -1,0 +1,1 @@
+lib/core/invariant_dump.mli: Analysis Astate Format Transfer

@@ -1,0 +1,1 @@
+lib/core/iterator.ml: Alarm Astate Astree_domains Astree_frontend Avalue Cell Config Env Fmt Hashtbl List Relstate Sys Transfer VarMap

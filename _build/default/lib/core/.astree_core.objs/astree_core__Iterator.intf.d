@@ -1,0 +1,1 @@
+lib/core/iterator.mli: Astate Astree_domains Astree_frontend Transfer

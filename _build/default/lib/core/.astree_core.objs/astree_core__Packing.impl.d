@@ -1,0 +1,1 @@
+lib/core/packing.ml: Array Astree_domains Astree_frontend Config Fmt Hashtbl List Option Var VarSet

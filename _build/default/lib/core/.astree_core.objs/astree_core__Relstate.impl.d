@@ -1,0 +1,1 @@
+lib/core/relstate.ml: Array Astree_domains Astree_frontend List Packing Ptmap

@@ -1,0 +1,1 @@
+lib/core/relstate.mli: Astree_domains Astree_frontend Packing Ptmap

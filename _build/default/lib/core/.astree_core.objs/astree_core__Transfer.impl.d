@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Alarm Array Astate Astree_domains Astree_frontend Avalue Cell Config Env Float Fmt Hashtbl Int List Option Packing Ptmap Relstate Var VarMap VarSet

@@ -1,0 +1,1 @@
+lib/core/transfer.mli: Alarm Astate Astree_domains Astree_frontend Cell Config Hashtbl Packing

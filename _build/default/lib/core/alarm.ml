@@ -1,0 +1,62 @@
+(** Alarms: warnings issued in checking mode for each operator application
+    that may give an error on the concrete level (Sect. 5.3).
+
+    "In all cases, the analysis goes on with the non-erroneous concrete
+    results (overflowing integers are wiped out and not considered modulo,
+    thus following the end-user intended semantics)." *)
+
+module F = Astree_frontend
+
+type kind =
+  | Int_overflow        (** integer wrap-around wrt the end-user semantics *)
+  | Div_by_zero
+  | Mod_by_zero
+  | Out_of_bounds       (** array subscript possibly outside bounds *)
+  | Float_overflow      (** result possibly exceeds the largest finite float *)
+  | Invalid_op          (** NaN production, sqrt of negative, ... *)
+  | Shift_range
+  | Assert_failure      (** user [__astree_assert] possibly violated *)
+
+let kind_to_string = function
+  | Int_overflow -> "integer overflow"
+  | Div_by_zero -> "division by zero"
+  | Mod_by_zero -> "modulo by zero"
+  | Out_of_bounds -> "out-of-bounds array access"
+  | Float_overflow -> "float overflow"
+  | Invalid_op -> "invalid operation"
+  | Shift_range -> "shift out of range"
+  | Assert_failure -> "assertion failure"
+
+let pp_kind ppf k = Fmt.string ppf (kind_to_string k)
+
+type t = { a_kind : kind; a_loc : F.Loc.t; a_msg : string }
+
+let pp ppf a =
+  Fmt.pf ppf "%a: ALARM: %a%s" F.Loc.pp a.a_loc pp_kind a.a_kind
+    (if a.a_msg = "" then "" else ": " ^ a.a_msg)
+
+let compare (a : t) (b : t) =
+  let c = F.Loc.compare a.a_loc b.a_loc in
+  if c <> 0 then c else Stdlib.compare a.a_kind b.a_kind
+
+(** Alarm collector: alarms are deduplicated by (location, kind), so a
+    program point reanalyzed many times (polyvariant calls, loop
+    iterations) reports once, as the paper's alarm counts do. *)
+type collector = {
+  mutable alarms : (kind * F.Loc.t, t) Hashtbl.t;
+  mutable enabled : bool;  (** false in iteration mode, true in checking *)
+}
+
+let make_collector () = { alarms = Hashtbl.create 64; enabled = false }
+
+let report (c : collector) (kind : kind) (loc : F.Loc.t) (msg : string) : unit
+    =
+  if c.enabled then
+    let key = (kind, loc) in
+    if not (Hashtbl.mem c.alarms key) then
+      Hashtbl.replace c.alarms key { a_kind = kind; a_loc = loc; a_msg = msg }
+
+let to_list (c : collector) : t list =
+  Hashtbl.fold (fun _ a acc -> a :: acc) c.alarms [] |> List.sort compare
+
+let count (c : collector) : int = Hashtbl.length c.alarms

@@ -1,0 +1,42 @@
+(** Alarms: warnings issued in checking mode for each operator
+    application that may give an error on the concrete level
+    (Sect. 5.3).  The analysis continues with the non-erroneous concrete
+    results. *)
+
+type kind =
+  | Int_overflow   (** integer wrap-around wrt the end-user semantics *)
+  | Div_by_zero
+  | Mod_by_zero
+  | Out_of_bounds  (** array subscript possibly outside bounds *)
+  | Float_overflow (** result possibly beyond the largest finite float *)
+  | Invalid_op     (** NaN production, sqrt of a negative, ... *)
+  | Shift_range
+  | Assert_failure (** user [__astree_assert] possibly violated *)
+
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+
+type t = {
+  a_kind : kind;
+  a_loc : Astree_frontend.Loc.t;
+  a_msg : string;
+}
+
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+
+(** Alarm collector: alarms are deduplicated by (location, kind), so a
+    program point reanalyzed many times reports once. *)
+type collector = {
+  mutable alarms : (kind * Astree_frontend.Loc.t, t) Hashtbl.t;
+  mutable enabled : bool;
+      (** false in iteration mode, true in checking mode (Sect. 5.3) *)
+}
+
+val make_collector : unit -> collector
+
+(** Record an alarm (no-op when the collector is disabled). *)
+val report : collector -> kind -> Astree_frontend.Loc.t -> string -> unit
+
+val to_list : collector -> t list
+val count : collector -> int

@@ -1,0 +1,97 @@
+(** Top-level analysis driver: preprocessing phase (Sect. 5.1) followed by
+    the analysis phase (Sect. 5.2), producing alarms, statistics and the
+    saved loop invariants. *)
+
+module F = Astree_frontend
+module D = Astree_domains
+
+type stats = {
+  s_globals_before : int;  (** globals before unused-variable deletion *)
+  s_globals_after : int;
+  s_cells : int;           (** abstract cells after array expansion *)
+  s_stmts : int;           (** program size in IR statements *)
+  s_oct_packs : int;
+  s_oct_useful : int;      (** packs that improved precision (7.2.2) *)
+  s_ell_packs : int;
+  s_dt_packs : int;
+  s_time : float;          (** analysis wall-clock seconds *)
+}
+
+type result = {
+  r_alarms : Alarm.t list;
+  r_final : Astate.t;
+  r_actx : Transfer.actx;
+  r_stats : stats;
+}
+
+let n_alarms r = List.length r.r_alarms
+
+(** The list of useful octagon packs, reusable via
+    [Config.useful_packs_only] (Sect. 7.2.2). *)
+let useful_octagon_packs (r : result) : int list =
+  Hashtbl.fold (fun id () acc -> id :: acc) r.r_actx.Transfer.oct_useful []
+  |> List.sort Int.compare
+
+(** Analyze a typed program. *)
+let analyze ?(cfg = Config.default) (p : F.Tast.program) : result =
+  let t0 = Unix.gettimeofday () in
+  let actx = Transfer.make_actx cfg p in
+  let final = Iterator.run actx in
+  let t1 = Unix.gettimeofday () in
+  let alarms = Alarm.to_list actx.Transfer.alarms in
+  {
+    r_alarms = alarms;
+    r_final = final;
+    r_actx = actx;
+    r_stats =
+      {
+        s_globals_before = List.length p.F.Tast.p_globals;
+        s_globals_after = List.length p.F.Tast.p_globals;
+        s_cells = Cell.count actx.Transfer.intern;
+        s_stmts = F.Tast.program_size p;
+        s_oct_packs = List.length actx.Transfer.packs.Packing.octs;
+        s_oct_useful = Hashtbl.length actx.Transfer.oct_useful;
+        s_ell_packs = List.length actx.Transfer.packs.Packing.ells;
+        s_dt_packs = List.length actx.Transfer.packs.Packing.dts;
+        s_time = t1 -. t0;
+      };
+  }
+
+(** Frontend pipeline: preprocess, parse, link, type-check, simplify. *)
+let compile ?(target = F.Ctypes.default_target) ?(main = "main")
+    (sources : (string * string) list) : F.Tast.program * F.Simplify.stats =
+  let ast = F.Linker.parse_and_link sources in
+  let p = F.Typecheck.elab_program ~target ~main ast in
+  F.Simplify.run p
+
+(** Analyze C sources given as (filename, contents) pairs. *)
+let analyze_sources ?(cfg = Config.default) ?(main = "main")
+    (sources : (string * string) list) : result =
+  let p, sstats = compile ~main sources in
+  let r = analyze ~cfg p in
+  {
+    r with
+    r_stats =
+      {
+        r.r_stats with
+        s_globals_before = sstats.F.Simplify.globals_before;
+        s_globals_after = sstats.F.Simplify.globals_after;
+      };
+  }
+
+(** Analyze a single in-memory source string. *)
+let analyze_string ?(cfg = Config.default) ?(main = "main") ?(file = "<input>")
+    (src : string) : result =
+  analyze_sources ~cfg ~main [ (file, src) ]
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "globals: %d -> %d; cells: %d; statements: %d;@ octagon packs: %d (%d \
+     useful); ellipsoid packs: %d; decision-tree packs: %d;@ time: %.3fs"
+    s.s_globals_before s.s_globals_after s.s_cells s.s_stmts s.s_oct_packs
+    s.s_oct_useful s.s_ell_packs s.s_dt_packs s.s_time
+
+let pp_result ppf (r : result) =
+  Fmt.pf ppf "%d alarm(s)@\n%a@\n%a" (n_alarms r)
+    Fmt.(list ~sep:(any "@\n") Alarm.pp)
+    r.r_alarms pp_stats r.r_stats

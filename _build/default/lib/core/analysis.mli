@@ -1,0 +1,49 @@
+(** Top-level analysis driver: the preprocessing phase (Sect. 5.1)
+    followed by the analysis phase (Sect. 5.2). *)
+
+type stats = {
+  s_globals_before : int;  (** globals before unused-variable deletion *)
+  s_globals_after : int;
+  s_cells : int;           (** abstract cells after array expansion *)
+  s_stmts : int;           (** program size in IR statements *)
+  s_oct_packs : int;
+  s_oct_useful : int;      (** packs that improved precision (7.2.2) *)
+  s_ell_packs : int;
+  s_dt_packs : int;
+  s_time : float;          (** analysis wall-clock seconds *)
+}
+
+type result = {
+  r_alarms : Alarm.t list;   (** deduplicated, sorted by location *)
+  r_final : Astate.t;        (** abstract state at program exit *)
+  r_actx : Transfer.actx;    (** analysis context: invariants, packs, ... *)
+  r_stats : stats;
+}
+
+val n_alarms : result -> int
+
+(** The ids of the octagon packs that improved precision, reusable via
+    [Config.useful_packs_only] (Sect. 7.2.2). *)
+val useful_octagon_packs : result -> int list
+
+(** Analyze an already-compiled program. *)
+val analyze : ?cfg:Config.t -> Astree_frontend.Tast.program -> result
+
+(** Frontend pipeline: preprocess, parse, link, type-check, simplify.
+    Sources are (filename, contents) pairs. *)
+val compile :
+  ?target:Astree_frontend.Ctypes.target ->
+  ?main:string ->
+  (string * string) list ->
+  Astree_frontend.Tast.program * Astree_frontend.Simplify.stats
+
+(** Compile and analyze C sources. *)
+val analyze_sources :
+  ?cfg:Config.t -> ?main:string -> (string * string) list -> result
+
+(** Compile and analyze one in-memory source string. *)
+val analyze_string :
+  ?cfg:Config.t -> ?main:string -> ?file:string -> string -> result
+
+val pp_stats : Format.formatter -> stats -> unit
+val pp_result : Format.formatter -> result -> unit

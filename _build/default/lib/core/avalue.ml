@@ -1,0 +1,53 @@
+(** Per-cell abstract values: the reduction of the basic arithmetic
+    domains attached to one abstract cell (Sect. 6.1: "an abstract value
+    in an abstract cell is therefore the reduction of the abstract values
+    provided by each different basic abstract domain").
+
+    Concretely a value is a {!Astree_domains.Clocked.t} triple
+    (v, v-clock, v+clock); when the clocked domain is disabled the two
+    clock components are kept at [Bot], which the clocked reduction
+    treats as "no information". *)
+
+module F = Astree_frontend
+module D = Astree_domains
+
+type t = D.Clocked.t
+
+let bot : t = D.Clocked.bot
+
+let is_bot (v : t) = D.Clocked.is_bot v
+
+(** The plain interval view. *)
+let itv (v : t) : D.Itv.t = D.Clocked.to_itv v
+
+(** Build from an interval.  With the clocked domain enabled the clock
+    components are initialized from the current clock range; otherwise
+    they stay at no-information. *)
+let of_itv ~(use_clocked : bool) ~(clock : D.Itv.t) (i : D.Itv.t) : t =
+  if D.Itv.is_bot i then bot
+  else if use_clocked then D.Clocked.of_itv i clock
+  else { D.Clocked.v = i; vminus = D.Itv.Bot; vplus = D.Itv.Bot }
+
+(** Replace the interval component, keeping clock relations only when
+    [keep_clock] (used by guard refinements, which shrink the value
+    without invalidating clock offsets). *)
+let with_itv (v : t) (i : D.Itv.t) : t =
+  if D.Itv.is_bot i then bot else { v with D.Clocked.v = i }
+
+(** Interval of every possible value of a scalar type. *)
+let top_of_scalar (tgt : F.Ctypes.target) (s : F.Ctypes.scalar) : D.Itv.t =
+  match s with
+  | F.Ctypes.Tint (r, sg) -> D.Itv.of_int_type tgt r sg
+  | F.Ctypes.Tfloat k -> D.Itv.of_float_kind k
+
+let join = D.Clocked.join
+let meet = D.Clocked.meet
+let widen = D.Clocked.widen
+let narrow = D.Clocked.narrow
+let subset = D.Clocked.subset
+let equal = D.Clocked.equal
+let reduce = D.Clocked.reduce
+let tick = D.Clocked.tick
+let add_const = D.Clocked.add_const
+
+let pp = D.Clocked.pp

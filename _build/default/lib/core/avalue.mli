@@ -1,0 +1,43 @@
+(** Per-cell abstract values: the reduction of the basic arithmetic
+    domains attached to one abstract cell (Sect. 6.1) — concretely a
+    clocked triple whose value component is an interval. *)
+
+type t = Astree_domains.Clocked.t
+
+val bot : t
+val is_bot : t -> bool
+
+(** The plain interval view. *)
+val itv : t -> Astree_domains.Itv.t
+
+(** Build from an interval; with the clocked domain enabled the clock
+    components are seeded from the current clock range. *)
+val of_itv :
+  use_clocked:bool -> clock:Astree_domains.Itv.t -> Astree_domains.Itv.t -> t
+
+(** Replace the interval component, keeping the clock relations (used by
+    guard refinements, which only shrink the value). *)
+val with_itv : t -> Astree_domains.Itv.t -> t
+
+(** Interval of every possible value of a scalar type. *)
+val top_of_scalar :
+  Astree_frontend.Ctypes.target -> Astree_frontend.Ctypes.scalar ->
+  Astree_domains.Itv.t
+
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : thresholds:Astree_domains.Thresholds.t -> t -> t -> t
+val narrow : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+
+(** Tighten the value from the clock components. *)
+val reduce : Astree_domains.Itv.t -> t -> t
+
+(** Effect of a clock tick (Sect. 6.2.1). *)
+val tick : t -> t
+
+(** Addition of a constant interval, preserving clock offsets. *)
+val add_const : Astree_domains.Itv.t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+(** Relative enlargement of float bounds for the floating iteration
+    perturbation of Sect. 7.1.4: F-hat([a, b]) = [a' - eps|a'|, b' + eps|b'|]. *)
+
+let up (eps : float) (b : float) : float =
+  if Float.abs b = Float.infinity then b
+  else Astree_domains.Float_utils.round_up (b +. (eps *. Float.abs b))
+
+let down (eps : float) (a : float) : float =
+  if Float.abs a = Float.infinity then a
+  else Astree_domains.Float_utils.round_down (a -. (eps *. Float.abs a))

@@ -1,0 +1,24 @@
+(** Census of a loop invariant, by assertion kind (Sect. 9.4.1): the
+    paper counts 6,900 boolean, 9,600 interval, 25,400 clock, 19,100
+    additive and 19,200 subtractive octagonal assertions, 100 decision
+    trees and 1,900 ellipsoidal assertions in its main loop invariant. *)
+
+type t = {
+  c_bool_assertions : int;      (** x in [0,1] on boolean cells *)
+  c_interval_assertions : int;  (** non-trivial, non-boolean x in [a,b] *)
+  c_clock_assertions : int;     (** v-clock / v+clock components *)
+  c_oct_additive : int;         (** a <= x + y <= b *)
+  c_oct_subtractive : int;      (** a <= x - y <= b *)
+  c_decision_trees : int;       (** live decision-tree branching nodes *)
+  c_ellipsoid_assertions : int;
+  c_float_constants : int;      (** distinct fp constants in the dump *)
+}
+
+(** Census of one abstract state. *)
+val census : Transfer.actx -> Astate.t -> t
+
+(** Census of the program's outermost (main synchronous) loop
+    invariant. *)
+val main_loop_census : Analysis.result -> t option
+
+val pp : Format.formatter -> t -> unit

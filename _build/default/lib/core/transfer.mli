@@ -1,0 +1,101 @@
+(** Abstract transfer functions: assignments and guards over the full
+    abstract state, with alarm reporting (Sect. 5.3, 6.1.3, 6.3).
+
+    Integer results are checked against their type's range (overflowing
+    values are "wiped out" with an alarm, not wrapped), floats are
+    rounded outward per kind with overflow and invalid-operation alarms,
+    divisors are checked for zero, array subscripts for bounds.  When
+    the plain interval evaluation incurs no possible error, float
+    expressions are refined through the linear forms of Sect. 6.3. *)
+
+module F = Astree_frontend
+module D = Astree_domains
+
+(** Bindings of by-reference parameters to actual lvalues (function
+    inlining, Sect. 5.4). *)
+type binds = F.Tast.lval F.Tast.VarMap.t
+
+(** Analysis context shared by all transfer functions. *)
+type actx = {
+  prog : F.Tast.program;
+  cfg : Config.t;
+  packs : Packing.t;
+  intern : Cell.interner;
+  alarms : Alarm.collector;
+  oct_useful : (int, unit) Hashtbl.t;
+      (** octagon packs that improved precision (Sect. 7.2.2) *)
+  oct_index : (int, Packing.oct_pack list) Hashtbl.t;
+  ell_index : (int, Packing.ell_pack list) Hashtbl.t;
+  dt_index : (int, Packing.dt_pack list) Hashtbl.t;
+  invariants : (int, Astate.t) Hashtbl.t;  (** loop id -> head invariant *)
+  input_specs : (int, float * float) Hashtbl.t;
+  mutable join_count : int;
+}
+
+val make_actx : Config.t -> F.Tast.program -> actx
+
+(** {1 Pack lookups (indexed)} *)
+
+val oct_packs_of : actx -> F.Tast.var -> Packing.oct_pack list
+val ell_packs_of : actx -> F.Tast.var -> Packing.ell_pack list
+val dt_packs_of : actx -> F.Tast.var -> Packing.dt_pack list
+
+(** {1 Cells and values} *)
+
+(** Interned cell id of a scalar variable. *)
+val var_cell : actx -> F.Tast.var -> int
+
+(** Interval of every value of a scalar type on the target. *)
+val type_range : actx -> F.Ctypes.scalar -> D.Itv.t
+
+(** Range of a volatile input read (Sect. 4 environment specs). *)
+val input_itv : actx -> F.Tast.var -> F.Ctypes.scalar -> D.Itv.t
+
+(** Clock-reduced interval of a cell. *)
+val cell_itv : actx -> Astate.t -> int -> D.Itv.t
+
+(** Clock-reduced interval of a scalar variable. *)
+val var_itv : actx -> Astate.t -> F.Tast.var -> D.Itv.t
+
+(** Float-hull oracle over the state, for the relational domains. *)
+val oracle : actx -> Astate.t -> F.Tast.var -> float * float
+
+(** {1 Lvalues and expressions} *)
+
+(** Substitute by-reference parameter bindings away. *)
+val resolve_lval : binds -> F.Tast.lval -> F.Tast.lval
+
+val resolve_expr : binds -> F.Tast.expr -> F.Tast.expr
+
+(** Evaluate an expression to an interval; alarms are reported through
+    the context's collector (when in checking mode) and any possible
+    error is recorded in [err].  [var_hook] lets decision-tree leaves
+    override variable ranges. *)
+val eval :
+  ?var_hook:(F.Tast.var -> D.Itv.t option) ->
+  actx -> Astate.t -> binds -> bool ref -> F.Tast.expr -> D.Itv.t
+
+(** {1 Statement-level transfer functions} *)
+
+(** guard#(E, c): refine the state under [cond = truth] (Sect. 5.4);
+    compound conditions are handled by structural induction, atomic
+    comparisons refine the intervals, the octagons (through linear
+    forms) and the decision trees. *)
+val guard : actx -> Astate.t -> binds -> F.Tast.expr -> bool -> Astate.t
+
+(** Abstract assignment lvalue := e (Sect. 6.1.3): strong or weak cell
+    updates, then relational updates (octagons, ellipsoids, decision
+    trees) with their interval write-backs. *)
+val assign : actx -> Astate.t -> binds -> F.Tast.lval -> F.Tast.expr -> Astate.t
+
+(** Local-variable creation (stack cells are created on the fly,
+    Sect. 5.2). *)
+val local_decl :
+  actx -> Astate.t -> binds -> F.Tast.var -> F.Tast.expr option -> Astate.t
+
+(** [__astree_wait_for_clock()]: clock tick (Sect. 6.2.1). *)
+val wait : actx -> Astate.t -> Astate.t
+
+(** Initial abstract state: globals bound to their static initializers
+    (Sect. 5.2). *)
+val initial_state : actx -> Astate.t

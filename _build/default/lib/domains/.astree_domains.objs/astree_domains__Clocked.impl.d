@@ -1,0 +1,1 @@
+lib/domains/clocked.ml: Fmt Itv Thresholds

@@ -1,0 +1,1 @@
+lib/domains/clocked.mli: Format Itv Thresholds

@@ -1,0 +1,1 @@
+lib/domains/decision_tree.ml: Array Astree_frontend Fmt Itv List

@@ -1,0 +1,1 @@
+lib/domains/decision_tree.mli: Astree_frontend Format Itv Thresholds

@@ -1,0 +1,1 @@
+lib/domains/ellipsoid.ml: Array Astree_frontend Float Float_utils Fmt Int List Map Thresholds

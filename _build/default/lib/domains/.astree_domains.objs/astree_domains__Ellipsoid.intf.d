@@ -1,0 +1,1 @@
+lib/domains/ellipsoid.mli: Astree_frontend Format Map Thresholds

@@ -1,0 +1,1 @@
+lib/domains/float_utils.ml: Astree_frontend Float Int32 Int64

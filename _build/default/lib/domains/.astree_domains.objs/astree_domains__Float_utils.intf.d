@@ -1,0 +1,1 @@
+lib/domains/float_utils.mli: Astree_frontend

@@ -1,0 +1,1 @@
+lib/domains/itv.ml: Array Astree_frontend Float Float_utils Fmt List Option

@@ -1,0 +1,1 @@
+lib/domains/itv.mli: Astree_frontend Format

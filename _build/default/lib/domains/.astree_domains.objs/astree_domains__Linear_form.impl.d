@@ -1,0 +1,1 @@
+lib/domains/linear_form.ml: Astree_frontend Float Float_utils Fmt Itv List Option

@@ -1,0 +1,1 @@
+lib/domains/linear_form.mli: Astree_frontend Format Itv

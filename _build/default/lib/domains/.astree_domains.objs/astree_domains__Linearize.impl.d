@@ -1,0 +1,1 @@
+lib/domains/linearize.ml: Astree_frontend Float Itv Linear_form Option

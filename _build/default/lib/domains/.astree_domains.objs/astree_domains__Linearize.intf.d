@@ -1,0 +1,1 @@
+lib/domains/linearize.mli: Astree_frontend Itv Linear_form

@@ -1,0 +1,1 @@
+lib/domains/octagon.ml: Array Astree_frontend Float Float_utils Fmt Linear_form List Option Thresholds VarMap

@@ -1,0 +1,1 @@
+lib/domains/octagon.mli: Astree_frontend Format Linear_form Thresholds

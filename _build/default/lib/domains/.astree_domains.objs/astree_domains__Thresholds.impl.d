@@ -1,0 +1,1 @@
+lib/domains/thresholds.ml: Array Astree_frontend Float Fmt List

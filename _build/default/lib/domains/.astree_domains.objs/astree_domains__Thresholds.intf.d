@@ -1,0 +1,1 @@
+lib/domains/thresholds.mli: Format

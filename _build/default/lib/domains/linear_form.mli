@@ -1,0 +1,88 @@
+(** Interval linear forms (Sect. 6.3):
+    [l = Sum_i [a_i, b_i] . v_i + [a, b]] over program variables, with
+    interval coefficients.  All coefficient arithmetic is interval
+    arithmetic with outward rounding, so a linear form always
+    over-approximates the real-field value of the expression it stands
+    for. *)
+
+module VarMap = Astree_frontend.Tast.VarMap
+
+(** An interval constant. *)
+type coeff = { lo : float; hi : float }
+
+type t = {
+  terms : coeff VarMap.t;  (** variable coefficients; absent = 0 *)
+  const : coeff;           (** the constant interval term *)
+}
+
+(** {1 Coefficients} *)
+
+val coeff_const : float -> coeff
+val coeff_zero : coeff
+val coeff_is_zero : coeff -> bool
+val coeff_of_itv : Itv.t -> coeff option
+val coeff_add : coeff -> coeff -> coeff
+val coeff_neg : coeff -> coeff
+val coeff_sub : coeff -> coeff -> coeff
+val coeff_mul : coeff -> coeff -> coeff
+
+(** Division by an interval not containing zero; [None] otherwise. *)
+val coeff_div : coeff -> coeff -> coeff option
+
+val coeff_abs_max : coeff -> float
+val pp_coeff : Format.formatter -> coeff -> unit
+
+(** {1 Construction} *)
+
+val const : coeff -> t
+val zero : t
+val of_var : Astree_frontend.Tast.var -> t
+val of_interval : float -> float -> t
+
+(** {1 Linear operations} *)
+
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+
+(** Multiplication by a constant interval. *)
+val scale : coeff -> t -> t
+
+(** Division by a constant interval not containing 0. *)
+val div_const : t -> coeff -> t option
+
+(** {1 Views} *)
+
+(** The constant view, when the form has no variable term. *)
+val is_const : t -> coeff option
+
+(** The single-variable view [(v, k, c)] for [k.v + c]. *)
+val as_single_var : t -> (Astree_frontend.Tast.var * coeff * coeff) option
+
+(** The two-variable view, for octagon transfer functions. *)
+val as_two_vars :
+  t ->
+  (Astree_frontend.Tast.var * coeff * Astree_frontend.Tast.var * coeff * coeff)
+  option
+
+val vars : t -> Astree_frontend.Tast.var list
+
+(** {1 Evaluation} *)
+
+(** Evaluate to float bounds under a variable-range oracle, with outward
+    rounding. *)
+val eval : (Astree_frontend.Tast.var -> float * float) -> t -> float * float
+
+val eval_coeff : (Astree_frontend.Tast.var -> float * float) -> t -> coeff
+
+(** Magnitude bound of the form under an oracle. *)
+val magnitude : (Astree_frontend.Tast.var -> float * float) -> t -> float
+
+(** {1 Rounding errors (Sect. 6.3)} *)
+
+(** Absorb the absolute rounding error of one IEEE operation of the
+    given kind, at the given result-magnitude bound, into the constant
+    term. *)
+val add_rounding_error : Astree_frontend.Ctypes.fkind -> float -> t -> t
+
+val pp : Format.formatter -> t -> unit

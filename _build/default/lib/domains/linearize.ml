@@ -1,0 +1,127 @@
+(** Symbolic manipulation of expressions (Sect. 6.3).
+
+    Each scalar expression [e] is linearized into an interval linear form
+    l[e] = Sum_i [a_i, b_i] v_i + [a, b] by recurrence on its structure:
+
+    - linear operators (+, -, multiplication/division by a constant
+      interval) act directly on linear forms;
+    - non-linear operators evaluate one or both arguments into an
+      interval (via the oracle) and proceed;
+    - every floating-point operator adds an absolute rounding-error
+      contribution so the form remains a sound over-approximation of the
+      machine computation (the paper's "transformed into a sound
+      approximate real expression").
+
+    The caller must, per Sect. 6.3, only rely on the result after having
+    checked with the plain interval evaluation that no arithmetic error
+    (overflow, division by zero) is possible in [e]: this module assumes
+    error-free evaluation and refines the interval result. *)
+
+module F = Astree_frontend
+open F.Tast
+
+(** Oracle giving the currently-known float hull of each scalar
+    variable (from the memory domain's interval component). *)
+type oracle = var -> float * float
+
+(** A linearization result: the form plus the float kind context in which
+    rounding errors were accumulated, if any. *)
+let rec linearize (oracle : oracle) (e : expr) : Linear_form.t option =
+  match e.edesc with
+  | Eint n -> Some (Linear_form.of_interval (float_of_int n) (float_of_int n))
+  | Efloat f -> Some (Linear_form.of_interval f f)
+  | Elval lv -> (
+      match lv.ldesc with
+      | Lvar v when F.Ctypes.is_scalar v.v_ty -> Some (Linear_form.of_var v)
+      | _ ->
+          (* array cells and fields are not variables of the relational
+             world: evaluate them through the oracle?  Without a cell
+             oracle we cannot do better than give up; the transfer layer
+             substitutes an interval before calling us. *)
+          None)
+  | Eunop (Neg, a) ->
+      Option.map
+        (fun la ->
+          let r = Linear_form.neg la in
+          round_for e.ety oracle r)
+        (linearize oracle a)
+  | Eunop ((Lnot | Bnot | Fabs | Sqrt), _) -> None
+  | Ebinop (Add, a, b) -> lin2 oracle e Linear_form.add a b
+  | Ebinop (Sub, a, b) -> lin2 oracle e Linear_form.sub a b
+  | Ebinop (Mul, a, b) -> (
+      match (linearize oracle a, linearize oracle b) with
+      | Some la, Some lb -> (
+          (* multiply, evaluating one side to an interval; prefer the side
+             that is already constant, else intervalize the second *)
+          match (Linear_form.is_const la, Linear_form.is_const lb) with
+          | Some ka, _ ->
+              Some (round_for e.ety oracle (Linear_form.scale ka lb))
+          | _, Some kb ->
+              Some (round_for e.ety oracle (Linear_form.scale kb la))
+          | None, None ->
+              let kb = Linear_form.eval_coeff oracle lb in
+              Some (round_for e.ety oracle (Linear_form.scale kb la)))
+      | _ -> None)
+  | Ebinop (Div, a, b) -> (
+      match (linearize oracle a, linearize oracle b) with
+      | Some la, Some lb -> (
+          let kb =
+            match Linear_form.is_const lb with
+            | Some k -> k
+            | None -> Linear_form.eval_coeff oracle lb
+          in
+          match Linear_form.div_const la kb with
+          | Some r -> Some (round_for e.ety oracle r)
+          | None -> None)
+      | _ -> None)
+  | Ebinop ((Mod | Shl | Shr | Band | Bor | Bxor | Land | Lor
+            | Lt | Gt | Le | Ge | Eq | Ne), _, _) ->
+      None
+  | Ecast (s, a) -> (
+      match s with
+      | F.Ctypes.Tfloat k ->
+          (* conversion rounds: add the error of one rounding at the
+             target kind *)
+          Option.map
+            (fun la ->
+              let m = Linear_form.magnitude oracle la in
+              Linear_form.add_rounding_error k m la)
+            (linearize oracle a)
+      | F.Ctypes.Tint _ ->
+          (* float->int truncation is non-linear: give up; int->int casts
+             are exact when in range, which the transfer layer has already
+             checked *)
+          if F.Ctypes.is_integer (F.Ctypes.Tscalar a.ety) then
+            linearize oracle a
+          else None)
+
+and lin2 oracle e f a b =
+  match (linearize oracle a, linearize oracle b) with
+  | Some la, Some lb -> Some (round_for e.ety oracle (f la lb))
+  | _ -> None
+
+(* Add the rounding error of the operator that produced [r], when the
+   expression computes in floating point.  Integer operations are exact
+   (overflow is handled by the transfer layer). *)
+and round_for (ety : F.Ctypes.scalar) oracle (r : Linear_form.t) :
+    Linear_form.t =
+  match ety with
+  | F.Ctypes.Tfloat k ->
+      let m = Linear_form.magnitude oracle r in
+      Linear_form.add_rounding_error k m r
+  | F.Ctypes.Tint _ -> r
+
+(** Refine an interval evaluation of [e] with its linearized form:
+    returns the meet of [plain] with the form's interval value.  Example
+    from the paper: X - 0.2*X with X in [0,1] evaluates to [-0.2, 1]
+    bottom-up but the linear form 0.8*X evaluates to [0, 0.8]. *)
+let refine_eval (oracle : oracle) (e : expr) (plain : Itv.t) : Itv.t =
+  match e.ety with
+  | F.Ctypes.Tint _ -> plain (* linear refinement targets float drift *)
+  | F.Ctypes.Tfloat _ -> (
+      match linearize oracle e with
+      | None -> plain
+      | Some form ->
+          let lo, hi = Linear_form.eval oracle form in
+          if Float.is_nan lo || Float.is_nan hi then plain
+          else Itv.meet plain (Itv.float_range lo hi))

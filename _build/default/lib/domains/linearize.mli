@@ -1,0 +1,19 @@
+(** Symbolic manipulation of expressions (Sect. 6.3): linearization of
+    typed scalar expressions into interval linear forms, with absolute
+    rounding-error accumulation per floating-point operator. *)
+
+(** Oracle giving the currently-known float hull of each scalar
+    variable (from the memory domain's interval component). *)
+type oracle = Astree_frontend.Tast.var -> float * float
+
+(** Linearize an expression; [None] when a sub-expression is not
+    representable (non-scalar lvalues, bitwise/boolean operators,
+    intrinsics, float-to-int truncation). *)
+val linearize : oracle -> Astree_frontend.Tast.expr -> Linear_form.t option
+
+(** Refine a plain interval evaluation of a float expression by the
+    linear form's interval value (the paper's [X - 0.2*X] example:
+    bottom-up gives [-0.2, 1], the linear form [0.8*X] gives [0, 0.8]).
+    Per Sect. 6.3 this must only be called once the plain evaluation has
+    been checked free of possible arithmetic errors. *)
+val refine_eval : oracle -> Astree_frontend.Tast.expr -> Itv.t -> Itv.t

@@ -1,0 +1,560 @@
+(** The octagon abstract domain (Sect. 6.2.2), after Miné [28, 29, 30].
+
+    An octagon over a pack of variables v_0 .. v_{n-1} represents
+    conjunctions of constraints (+-x +-y <= c).  The implementation uses
+    the difference-bound-matrix encoding: index 2k stands for +v_k and
+    2k+1 for -v_k, and entry m[i][j] bounds V_j - V_i.  Strong closure is
+    cubic in time and the matrix quadratic in space, as the paper states.
+
+    Per the paper's design, the domain works in the real field: bounds
+    are binary64 with upward rounding, and floating-point program
+    expressions only reach it through the sound linear forms of
+    Sect. 6.3, which carry their own rounding errors.  This is the
+    paper's "generic way of implementing relational abstract domains on
+    floating-point numbers". *)
+
+module F = Astree_frontend
+
+type t = {
+  pack : F.Tast.var array;    (** the variables of this pack, in order *)
+  mutable bot : bool;
+  m : float array array;      (** 2n x 2n bound matrix; +infinity = top *)
+}
+
+let dim oct = 2 * Array.length oct.pack
+
+let bar i = i lxor 1
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let top (pack : F.Tast.var array) : t =
+  let n2 = 2 * Array.length pack in
+  let m =
+    Array.init n2 (fun i ->
+        Array.init n2 (fun j -> if i = j then 0.0 else Float.infinity))
+  in
+  { pack; bot = false; m }
+
+let bottom (pack : F.Tast.var array) : t =
+  let o = top pack in
+  { o with bot = true }
+
+let is_bot o = o.bot
+
+let copy o = { o with m = Array.map Array.copy o.m }
+
+let var_index (o : t) (v : F.Tast.var) : int option =
+  let n = Array.length o.pack in
+  let rec go k =
+    if k >= n then None
+    else if F.Tast.Var.equal o.pack.(k) v then Some k
+    else go (k + 1)
+  in
+  go 0
+
+let mem_var o v = var_index o v <> None
+
+(* ------------------------------------------------------------------ *)
+(* Strong closure                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let add_up = Float_utils.add_up
+
+(** Floyd–Warshall shortest paths followed by the octagonal
+    strengthening step; detects emptiness on the diagonal.  All bound
+    arithmetic rounds upward, which keeps the result a sound
+    over-approximation. *)
+let close (o : t) : unit =
+  if not o.bot then begin
+    let n2 = dim o in
+    let m = o.m in
+    (* Mine's strong closure: one Floyd-Warshall step through both
+       polarities of each variable, followed by the octagonal
+       strengthening step after EACH variable (interleaving is what
+       makes the result strongly closed, hence idempotent) *)
+    let n = n2 / 2 in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun k ->
+          for i = 0 to n2 - 1 do
+            let mik = m.(i).(k) in
+            if mik < Float.infinity then
+              for j = 0 to n2 - 1 do
+                let via = add_up mik m.(k).(j) in
+                if via < m.(i).(j) then m.(i).(j) <- via
+              done
+          done)
+        [ 2 * v; (2 * v) + 1 ];
+      (* strengthening:
+         m[i][j] <- min(m[i][j], (m[i][bar i] + m[bar j][j]) / 2) *)
+      for i = 0 to n2 - 1 do
+        for j = 0 to n2 - 1 do
+          let s = add_up m.(i).(bar i) m.(bar j).(j) /. 2.0 in
+          let s = Float_utils.round_up s in
+          if s < m.(i).(j) then m.(i).(j) <- s
+        done
+      done
+    done;
+    (* emptiness check *)
+    let empty = ref false in
+    for i = 0 to n2 - 1 do
+      if m.(i).(i) < 0.0 then empty := true else m.(i).(i) <- 0.0
+    done;
+    if !empty then o.bot <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lattice operations (on closed arguments)                            *)
+(* ------------------------------------------------------------------ *)
+
+let join (a : t) (b : t) : t =
+  if a.bot then copy b
+  else if b.bot then copy a
+  else begin
+    let r = copy a in
+    let n2 = dim a in
+    for i = 0 to n2 - 1 do
+      for j = 0 to n2 - 1 do
+        r.m.(i).(j) <- Float.max a.m.(i).(j) b.m.(i).(j)
+      done
+    done;
+    r
+  end
+
+let meet (a : t) (b : t) : t =
+  if a.bot then copy a
+  else if b.bot then copy b
+  else begin
+    let r = copy a in
+    let n2 = dim a in
+    for i = 0 to n2 - 1 do
+      for j = 0 to n2 - 1 do
+        r.m.(i).(j) <- Float.min a.m.(i).(j) b.m.(i).(j)
+      done
+    done;
+    close r;
+    r
+  end
+
+(** Widening: an unstable bound jumps straight to +infinity (the
+    standard octagon widening of Mine [29]).  Since the transfer
+    functions rebuild relational constraints at every assignment, a
+    killed bound is re-derived on the next iterate if it is genuinely
+    invariant; jumping through intermediate thresholds would instead let
+    rounding-noise creep drag whole constraint families up the ladder.
+    The [thresholds] parameter is kept for interface uniformity with the
+    other domains.  The left argument must not be closed after widening
+    is engaged, per the classical octagon widening soundness condition;
+    we therefore never close widened results until the next meet. *)
+let widen ~(thresholds : Thresholds.t) (a : t) (b : t) : t =
+  ignore thresholds;
+  if a.bot then copy b
+  else if b.bot then copy a
+  else begin
+    let r = copy a in
+    let n2 = dim a in
+    for i = 0 to n2 - 1 do
+      for j = 0 to n2 - 1 do
+        if b.m.(i).(j) > a.m.(i).(j) then r.m.(i).(j) <- Float.infinity
+      done
+    done;
+    r
+  end
+
+let narrow (a : t) (b : t) : t =
+  if a.bot || b.bot then bottom a.pack
+  else begin
+    let r = copy a in
+    let n2 = dim a in
+    for i = 0 to n2 - 1 do
+      for j = 0 to n2 - 1 do
+        if a.m.(i).(j) = Float.infinity then r.m.(i).(j) <- b.m.(i).(j)
+      done
+    done;
+    r
+  end
+
+let subset (a : t) (b : t) : bool =
+  a.bot || (not b.bot)
+           && (let n2 = dim a in
+               let ok = ref true in
+               for i = 0 to n2 - 1 do
+                 for j = 0 to n2 - 1 do
+                   if a.m.(i).(j) > b.m.(i).(j) then ok := false
+                 done
+               done;
+               !ok)
+
+let equal (a : t) (b : t) : bool =
+  (a.bot && b.bot)
+  || ((not a.bot) && (not b.bot) && a.m = b.m)
+
+(* ------------------------------------------------------------------ *)
+(* Interval extraction and injection                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Hull of variable k: [-m[2k][2k+1]/2, m[2k+1][2k]/2]. *)
+let get_bounds (o : t) (v : F.Tast.var) : (float * float) option =
+  if o.bot then Some (1.0, -1.0)
+  else
+    match var_index o v with
+    | None -> None
+    | Some k ->
+        let hi = Float_utils.round_up (o.m.(bar (2 * k)).(2 * k) /. 2.0) in
+        let lo =
+          Float_utils.round_down (-.(o.m.(2 * k).(bar (2 * k)) /. 2.0))
+        in
+        Some (lo, hi)
+
+(** Constrain v to [lo, hi] (meet). *)
+let set_bounds (o : t) (v : F.Tast.var) ((lo, hi) : float * float) : unit =
+  if not o.bot then
+    match var_index o v with
+    | None -> ()
+    | Some k ->
+        let i = 2 * k in
+        if hi < Float.infinity then
+          o.m.(bar i).(i) <- Float.min o.m.(bar i).(i)
+                               (Float_utils.mul_up 2.0 hi);
+        if lo > Float.neg_infinity then
+          o.m.(i).(bar i) <- Float.min o.m.(i).(bar i)
+                               (Float_utils.mul_up (-2.0) lo)
+
+(** Bounds on the difference x - y, when both are in the pack. *)
+let get_diff_bounds (o : t) (x : F.Tast.var) (y : F.Tast.var) :
+    (float * float) option =
+  if o.bot then None
+  else
+    match (var_index o x, var_index o y) with
+    | Some kx, Some ky when kx <> ky ->
+        (* x - y <= m[2ky][2kx]; y - x <= m[2kx][2ky] *)
+        let hi = o.m.(2 * ky).(2 * kx) in
+        let lo = -.o.m.(2 * kx).(2 * ky) in
+        if lo > Float.neg_infinity || hi < Float.infinity then Some (lo, hi)
+        else None
+    | _ -> None
+
+(** Remove every constraint involving v (projection). *)
+let forget (o : t) (v : F.Tast.var) : unit =
+  if not o.bot then
+    match var_index o v with
+    | None -> ()
+    | Some k ->
+        let n2 = dim o in
+        let i0 = 2 * k and i1 = (2 * k) + 1 in
+        for j = 0 to n2 - 1 do
+          if j <> i0 then begin
+            o.m.(i0).(j) <- Float.infinity;
+            o.m.(j).(i0) <- Float.infinity
+          end;
+          if j <> i1 then begin
+            o.m.(i1).(j) <- Float.infinity;
+            o.m.(j).(i1) <- Float.infinity
+          end
+        done;
+        o.m.(i0).(i0) <- 0.0;
+        o.m.(i1).(i1) <- 0.0
+
+(* Add constraint V_j - V_i <= c, maintaining coherence. *)
+let add_constraint (o : t) i j c =
+  if c < o.m.(i).(j) then begin
+    o.m.(i).(j) <- c;
+    o.m.(bar j).(bar i) <- Float.min o.m.(bar j).(bar i) c
+  end
+
+(** Constrain x - y <= c  (x, y in the pack). *)
+let add_diff_le (o : t) (x : F.Tast.var) (y : F.Tast.var) (c : float) : unit =
+  if not o.bot then
+    match (var_index o x, var_index o y) with
+    | Some kx, Some ky when kx <> ky ->
+        (* x - y = V_{2kx} - V_{2ky} <= c *)
+        add_constraint o (2 * ky) (2 * kx) c
+    | _ -> ()
+
+(** Constrain x + y <= c. *)
+let add_sum_le (o : t) (x : F.Tast.var) (y : F.Tast.var) (c : float) : unit =
+  if not o.bot then
+    match (var_index o x, var_index o y) with
+    | Some kx, Some ky when kx <> ky ->
+        (* x + y = V_{2kx} - V_{2ky+1} <= c *)
+        add_constraint o ((2 * ky) + 1) (2 * kx) c
+    | _ -> ()
+
+(** Constrain -x - y <= c. *)
+let add_neg_sum_le (o : t) (x : F.Tast.var) (y : F.Tast.var) (c : float) : unit
+    =
+  if not o.bot then
+    match (var_index o x, var_index o y) with
+    | Some kx, Some ky when kx <> ky ->
+        (* -x - y = V_{2kx+1} - V_{2ky} <= c *)
+        add_constraint o (2 * ky) ((2 * kx) + 1) c
+    | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Transfer functions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* An oracle gives float hulls for variables outside the pack. *)
+type oracle = F.Tast.var -> float * float
+
+let eval_form (o : t) (oracle : oracle) (form : Linear_form.t) : float * float =
+  let var_hull v =
+    match get_bounds o v with
+    | Some (lo, hi) -> (
+        (* the octagon's own bounds may be tighter than the oracle's *)
+        let olo, ohi = oracle v in
+        (Float.max lo olo, Float.min hi ohi))
+    | None -> oracle v
+  in
+  Linear_form.eval var_hull form
+
+(** Abstract assignment [x := form].  The transfer function is the
+    paper's "smart" one: for every unit-coefficient variable y of the
+    form, the rest of the form is evaluated to an interval [c, d] and the
+    relational constraints c <= x -+ y <= d are synthesized; other
+    variables only contribute their interval.  This is what proves
+    L <= X in the paper's rate-limiter example. *)
+(* Exact self-update x := x + [c, d]: every constraint involving x
+   shifts by the increment, preserving all relational information
+   (what keeps loop counters related to their accumulators). *)
+let shift_var (o : t) (k : int) (c : float) (d : float) : unit =
+  let n2 = dim o in
+  let i0 = 2 * k and i1 = (2 * k) + 1 in
+  let su = Float_utils.sub_up and au = Float_utils.add_up in
+  for j = 0 to n2 - 1 do
+    if j <> i0 && j <> i1 then begin
+      (* V_j - x <= m[i0][j]  becomes  <= m - c *)
+      o.m.(i0).(j) <- su o.m.(i0).(j) c;
+      (* x - V_j <= m[j][i0]  becomes  <= m + d *)
+      o.m.(j).(i0) <- au o.m.(j).(i0) d;
+      (* V_j + x <= m[i1][j]  becomes  <= m + d *)
+      o.m.(i1).(j) <- au o.m.(i1).(j) d;
+      (* -x - V_j <= m[j][i1]  becomes  <= m - c *)
+      o.m.(j).(i1) <- su o.m.(j).(i1) c
+    end
+  done;
+  (* unary bounds: -2x <= m[i0][i1] becomes <= m - 2c; 2x <= m[i1][i0]
+     becomes <= m + 2d *)
+  o.m.(i0).(i1) <- su o.m.(i0).(i1) (Float_utils.mul_down 2.0 c);
+  o.m.(i1).(i0) <- au o.m.(i1).(i0) (Float_utils.mul_up 2.0 d)
+
+let assign (o : t) (oracle : oracle) (x : F.Tast.var) (form : Linear_form.t) :
+    unit =
+  if not o.bot then begin
+    match var_index o x with
+    | None -> ()
+    | Some kx
+      when (match Linear_form.as_single_var form with
+           | Some (y, k, _) ->
+               F.Tast.Var.equal y x
+               && k.Linear_form.lo = 1.0 && k.Linear_form.hi = 1.0
+           | None -> false) ->
+        (* x := x + [c, d] *)
+        let c, d =
+          match Linear_form.as_single_var form with
+          | Some (_, _, cst) -> (cst.Linear_form.lo, cst.Linear_form.hi)
+          | None -> (0.0, 0.0)
+        in
+        shift_var o kx c d;
+        close o
+    | Some _ ->
+        (* value hull computed before forgetting x (x may occur in form) *)
+        let vlo, vhi = eval_form o oracle form in
+        (* detect x := x + [c,d] - like self-updates: substitute via a
+           temporary approach: compute relational info w.r.t. other vars
+           from the pre-state *)
+        let unit_terms =
+          Linear_form.vars form
+          |> List.filter_map (fun y ->
+                 if F.Tast.Var.equal y x then None
+                 else if not (mem_var o y) then None
+                 else
+                   let coeffs =
+                     Linear_form.(
+                       match VarMap.find_opt y form.terms with
+                       | Some c -> c
+                       | None -> coeff_zero)
+                   in
+                   if coeffs.Linear_form.lo = 1.0 && coeffs.Linear_form.hi = 1.0
+                   then Some (y, `Plus)
+                   else if
+                     coeffs.Linear_form.lo = -1.0
+                     && coeffs.Linear_form.hi = -1.0
+                   then Some (y, `Minus)
+                   else None)
+        in
+        (* rest intervals are computed in the pre-state *)
+        let rests =
+          List.map
+            (fun (y, sign) ->
+              let ly = Linear_form.of_var y in
+              let rest =
+                match sign with
+                | `Plus -> Linear_form.sub form ly
+                | `Minus -> Linear_form.add form ly
+              in
+              let c, d = eval_form o oracle rest in
+              (y, sign, c, d))
+            unit_terms
+        in
+        forget o x;
+        set_bounds o x (vlo, vhi);
+        List.iter
+          (fun (y, sign, c, d) ->
+            match sign with
+            | `Plus ->
+                (* x = y + rest, rest in [c,d]: c <= x - y <= d *)
+                if d < Float.infinity then add_diff_le o x y d;
+                if c > Float.neg_infinity then add_diff_le o y x (-.c)
+            | `Minus ->
+                (* x = -y + rest: c <= x + y <= d *)
+                if d < Float.infinity then add_sum_le o x y d;
+                if c > Float.neg_infinity then add_neg_sum_le o x y (-.c))
+          rests;
+        close o
+  end
+
+(** Abstract guard [form <= 0].  Octagonal constraints are extracted when
+    the form involves one or two pack variables with unit coefficients;
+    otherwise only interval information is used. *)
+let guard_le_zero (o : t) (oracle : oracle) (form : Linear_form.t) : unit =
+  if not o.bot then begin
+    let in_pack = List.filter (mem_var o) (Linear_form.vars form) in
+    let unit_coeff v =
+      match Linear_form.VarMap.find_opt v form.Linear_form.terms with
+      | Some c when c.Linear_form.lo = 1.0 && c.Linear_form.hi = 1.0 ->
+          Some `Plus
+      | Some c when c.Linear_form.lo = -1.0 && c.Linear_form.hi = -1.0 ->
+          Some `Minus
+      | _ -> None
+    in
+    (match in_pack with
+    | [ x ] -> (
+        match unit_coeff x with
+        | Some sign ->
+            let lx = Linear_form.of_var x in
+            let rest =
+              match sign with
+              | `Plus -> Linear_form.sub form lx
+              | `Minus -> Linear_form.add form lx
+            in
+            let c, d = eval_form o oracle rest in
+            ignore c;
+            (* +x + rest <= 0  ==>  x <= -rest_lo is wrong; x <= -c with
+               c the lower bound of rest *)
+            (match sign with
+            | `Plus ->
+                (* x <= -rest, so x <= -(lower bound of rest) *)
+                let _, cur_hi =
+                  Option.value (get_bounds o x)
+                    ~default:(Float.neg_infinity, Float.infinity)
+                in
+                let new_hi = Float_utils.round_up (-.c) in
+                if new_hi < cur_hi then
+                  set_bounds o x (Float.neg_infinity, new_hi)
+            | `Minus ->
+                (* -x + rest <= 0: x >= rest_lo *)
+                let new_lo = Float_utils.round_down c in
+                if new_lo > Float.neg_infinity then
+                  set_bounds o x (new_lo, Float.infinity));
+            ignore d
+        | None -> ())
+    | [ x; y ] -> (
+        match (unit_coeff x, unit_coeff y) with
+        | Some sx, Some sy ->
+            let form' =
+              let lx = Linear_form.of_var x and ly = Linear_form.of_var y in
+              let f = form in
+              let f =
+                match sx with
+                | `Plus -> Linear_form.sub f lx
+                | `Minus -> Linear_form.add f lx
+              in
+              match sy with
+              | `Plus -> Linear_form.sub f ly
+              | `Minus -> Linear_form.add f ly
+            in
+            let c, _d = eval_form o oracle form' in
+            (* sx.x + sy.y + rest <= 0 ==> sx.x + sy.y <= -c *)
+            let bound = Float_utils.round_up (-.c) in
+            if bound < Float.infinity then begin
+              match (sx, sy) with
+              | `Plus, `Plus -> add_sum_le o x y bound
+              | `Plus, `Minus -> add_diff_le o x y bound
+              | `Minus, `Plus -> add_diff_le o y x bound
+              | `Minus, `Minus -> add_neg_sum_le o x y bound
+            end
+        | _ -> ())
+    | _ -> ());
+    close o
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing and accounting                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Number of non-trivial (finite, off-diagonal) constraints, split into
+    (sum constraints, difference constraints) — matching the paper's
+    invariant census of additive vs subtractive octagonal assertions
+    (Sect. 9.4.1). *)
+let count_constraints (o : t) : int * int =
+  if o.bot then (0, 0)
+  else begin
+    let n2 = dim o in
+    let sums = ref 0 and diffs = ref 0 in
+    for i = 0 to n2 - 1 do
+      for j = 0 to n2 - 1 do
+        if i <> j && i / 2 <> j / 2 && o.m.(i).(j) < Float.infinity then
+          (* V_j - V_i <= c: a difference if both have the same parity
+             polarity, a sum otherwise *)
+          if i land 1 = j land 1 then incr sums else incr diffs
+      done
+    done;
+    (!sums / 2, !diffs / 2)
+    (* each constraint is stored twice by coherence *)
+  end
+
+(** True when the octagon carries at least one relational constraint
+    (used by the packing-usefulness optimization, Sect. 7.2.2). *)
+let has_relational_info (o : t) : bool =
+  (not o.bot)
+  &&
+  let n2 = dim o in
+  let found = ref false in
+  for i = 0 to n2 - 1 do
+    for j = 0 to n2 - 1 do
+      if i / 2 <> j / 2 && o.m.(i).(j) < Float.infinity then found := true
+    done
+  done;
+  !found
+
+let pp ppf (o : t) =
+  if o.bot then Fmt.string ppf "_|_"
+  else begin
+    let n = Array.length o.pack in
+    let first = ref true in
+    for k = 0 to n - 1 do
+      match get_bounds o o.pack.(k) with
+      | Some (lo, hi) when lo > Float.neg_infinity || hi < Float.infinity ->
+          if not !first then Fmt.string ppf ", ";
+          first := false;
+          Fmt.pf ppf "%s in [%g, %g]" o.pack.(k).F.Tast.v_name lo hi
+      | _ -> ()
+    done;
+    for i = 0 to (2 * n) - 1 do
+      for j = 0 to (2 * n) - 1 do
+        if i / 2 < j / 2 && o.m.(i).(j) < Float.infinity then begin
+          if not !first then Fmt.string ppf ", ";
+          first := false;
+          let vi = o.pack.(i / 2).F.Tast.v_name
+          and vj = o.pack.(j / 2).F.Tast.v_name in
+          let si = if i land 1 = 0 then "-" else "+" in
+          let sj = if j land 1 = 0 then "+" else "-" in
+          Fmt.pf ppf "%s%s %s%s <= %g" sj vj si vi o.m.(i).(j)
+        end
+      done
+    done;
+    if !first then Fmt.string ppf "T"
+  end

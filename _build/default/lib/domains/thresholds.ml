@@ -1,0 +1,66 @@
+(** Widening threshold sets (Sect. 7.1.2).
+
+    A threshold set is a finite, sorted set of numbers containing -oo and
+    +oo.  The default construction is the paper's geometric ramp
+    (+-alpha.lambda^k) for 0 <= k <= N, which bounds any stable affine
+    recurrence X := alpha_i X + beta_i (0 <= alpha_i < 1) as soon as the
+    ramp reaches the minimal admissible bound M. *)
+
+type t = float array  (** sorted ascending; first = -oo, last = +oo *)
+
+(** [geometric ~alpha ~lambda ~n] builds the paper's default set
+    (+-alpha.lambda^k) for k in [0, n], plus 0 and the infinities. *)
+let geometric ?(alpha = 1.0) ?(lambda = 10.0) ?(n = 40) () : t =
+  let pos = List.init (n + 1) (fun k -> alpha *. (lambda ** float_of_int k)) in
+  (* the largest finite values of each float kind are always included:
+     parking a widened bound exactly at the type's range avoids spurious
+     overflow alarms at contracting operations (Sect. 7.1.2: "alpha
+     lambda^N should be large enough; otherwise, many false alarms for
+     overflow are produced") *)
+  let pos =
+    Astree_frontend.Ctypes.fmax Astree_frontend.Ctypes.Fsingle
+    :: Astree_frontend.Ctypes.fmax Astree_frontend.Ctypes.Fdouble
+    :: pos
+  in
+  let neg = List.map Float.neg pos in
+  let all =
+    (Float.neg_infinity :: Float.infinity :: 0.0 :: pos) @ neg
+    |> List.sort_uniq Float.compare
+  in
+  Array.of_list all
+
+(** A threshold set from explicit user-supplied values (the simpler
+    parametrization "easily found in the program documentation",
+    Sect. 10); infinities and 0 are added. *)
+let of_list (vals : float list) : t =
+  (Float.neg_infinity :: Float.infinity :: 0.0 :: vals)
+  @ List.map Float.neg vals
+  |> List.sort_uniq Float.compare
+  |> Array.of_list
+
+(** The degenerate set {-oo, +oo}: widening jumps straight to infinity,
+    i.e. the classical interval widening of [10, Sect. 2.1.2]. *)
+let none : t = [| Float.neg_infinity; Float.infinity |]
+
+let default : t = geometric ()
+
+let size (t : t) = Array.length t
+
+(** Smallest threshold >= v (defined because +oo is present). *)
+let above (t : t) (v : float) : float =
+  let n = Array.length t in
+  let rec go i = if i >= n then Float.infinity
+    else if t.(i) >= v then t.(i) else go (i + 1)
+  in
+  go 0
+
+(** Largest threshold <= v. *)
+let below (t : t) (v : float) : float =
+  let n = Array.length t in
+  let rec go i = if i < 0 then Float.neg_infinity
+    else if t.(i) <= v then t.(i) else go (i - 1)
+  in
+  go (n - 1)
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "{%a}" Fmt.(array ~sep:comma float) t

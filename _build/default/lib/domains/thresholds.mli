@@ -1,0 +1,32 @@
+(** Widening threshold sets (Sect. 7.1.2).
+
+    A threshold set is a finite, sorted array of numbers containing
+    -oo and +oo.  The default is the paper's geometric ramp
+    (+-alpha.lambda^k). *)
+
+type t = float array  (** sorted ascending; first = -oo, last = +oo *)
+
+(** [geometric ~alpha ~lambda ~n ()] builds (+-alpha.lambda^k) for
+    k in [0, n], plus 0, the largest finite binary32/binary64 values
+    (so widened float bounds can park exactly at a type's range) and
+    the infinities.  Defaults: alpha = 1, lambda = 10, n = 40. *)
+val geometric : ?alpha:float -> ?lambda:float -> ?n:int -> unit -> t
+
+(** Threshold set from explicit user-supplied values (the simple
+    parametrization "easily found in the program documentation",
+    Sect. 10); negations, 0 and infinities are added. *)
+val of_list : float list -> t
+
+(** The degenerate set [{-oo, +oo}]: the classical interval widening. *)
+val none : t
+
+val default : t
+val size : t -> int
+
+(** Smallest threshold >= v. *)
+val above : t -> float -> float
+
+(** Largest threshold <= v. *)
+val below : t -> float -> float
+
+val pp : Format.formatter -> t -> unit

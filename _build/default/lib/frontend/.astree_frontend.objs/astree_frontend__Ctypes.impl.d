@@ -1,0 +1,1 @@
+lib/frontend/ctypes.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/frontend/interp.ml: Array Ctypes Float Fmt Hashtbl Int Int32 List Loc Option Tast Var

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Buffer Char Ctypes Fmt Int32 List Loc Scanf String Token

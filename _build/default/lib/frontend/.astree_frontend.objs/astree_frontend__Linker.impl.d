@@ -1,0 +1,1 @@
+lib/frontend/linker.ml: Ast Hashtbl List Parser Set String

@@ -1,0 +1,1 @@
+lib/frontend/linker.mli: Ast Preproc

@@ -1,0 +1,1 @@
+lib/frontend/loc.ml: Fmt Int String

@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Ast Ctypes Fmt Hashtbl Lexer List Loc Preproc Token

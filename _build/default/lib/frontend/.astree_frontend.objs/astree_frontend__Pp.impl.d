@@ -1,0 +1,1 @@
+lib/frontend/pp.ml: Ctypes Fmt List String Tast

@@ -1,0 +1,1 @@
+lib/frontend/preproc.ml: Buffer Filename Fmt Lexer List Loc String Token

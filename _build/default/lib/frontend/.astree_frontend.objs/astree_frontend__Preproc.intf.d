@@ -1,0 +1,1 @@
+lib/frontend/preproc.mli: Loc

@@ -1,0 +1,1 @@
+lib/frontend/simplify.ml: Ctypes Float Hashtbl Int32 List Tast VarSet

@@ -1,0 +1,1 @@
+lib/frontend/simplify.mli: Tast

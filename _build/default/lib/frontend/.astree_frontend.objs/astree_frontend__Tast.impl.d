@@ -1,0 +1,1 @@
+lib/frontend/tast.ml: Ctypes Fmt Int List Loc Map Option Set

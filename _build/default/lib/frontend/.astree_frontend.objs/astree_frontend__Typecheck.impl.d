@@ -1,0 +1,1 @@
+lib/frontend/typecheck.ml: Ast Ctypes Float Fmt Hashtbl Int Int32 List Loc Option String Tast

@@ -1,0 +1,124 @@
+(** Untyped parse tree of the C subset, as produced by {!Parser}.
+
+    The subset matches Sect. 4 of the paper: no dynamic allocation, no
+    recursion, pointers restricted to call-by-reference parameters, plus the
+    periodic-synchronous intrinsic [__astree_wait_for_clock()] and the
+    environment-specification intrinsics. *)
+
+type unop =
+  | Neg           (** arithmetic negation [-e] *)
+  | Lnot          (** logical not [!e] *)
+  | Bnot          (** bitwise not [~e] *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr
+  | Band | Bor | Bxor
+  | Land | Lor
+  | Lt | Gt | Le | Ge | Eq | Ne
+
+type expr = { edesc : edesc; eloc : Loc.t }
+
+and edesc =
+  | Eint of int * Ctypes.irank * Ctypes.signedness
+  | Efloat of float * Ctypes.fkind
+  | Evar of string
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eassign of expr * expr               (** lvalue = expr *)
+  | Eassign_op of binop * expr * expr    (** lvalue op= expr *)
+  | Epreincr of bool * expr              (** true = increment *)
+  | Epostincr of bool * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr                (** a[i] *)
+  | Efield of expr * string              (** s.f *)
+  | Earrow of expr * string              (** p->f, pointer parameters only *)
+  | Ederef of expr                       (** *p, pointer parameters only *)
+  | Eaddr of expr                        (** &lvalue, argument position only *)
+  | Ecast of type_expr * expr
+  | Econd of expr * expr * expr          (** c ? a : b *)
+  | Ecomma of expr * expr
+  | Esizeof of type_expr
+
+(** Syntactic types, resolved to {!Ctypes.t} by the type-checker. *)
+and type_expr =
+  | Tname of string                          (** typedef name *)
+  | Tbase of Ctypes.scalar
+  | Tvoid_te
+  | Tstruct_te of string
+  | Tarray_te of type_expr * expr option     (** size must be constant *)
+  | Tptr_te of type_expr
+
+type stmt = { sdesc : sdesc; sloc : Loc.t }
+
+and sdesc =
+  | Sexpr of expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdowhile of stmt * expr
+  | Sfor of expr option * expr option * expr option * stmt
+  | Sblock of block
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sswitch of expr * (case list)
+  | Sskip
+  | Sdecl of decl  (** local declaration inside a block *)
+
+and case = {
+  case_labels : expr option list;
+      (** [None] is the [default:] label; several labels may share a body *)
+  case_body : stmt list;
+  case_loc : Loc.t;
+}
+
+and block = stmt list
+
+(** Variable and function declarations. *)
+and decl = {
+  d_name : string;
+  d_type : type_expr;
+  d_storage : storage;
+  d_volatile : bool;
+  d_const : bool;
+  d_init : init option;
+  d_loc : Loc.t;
+}
+
+and storage = Sto_none | Sto_static | Sto_extern
+
+and init = Init_expr of expr | Init_list of init list
+
+type fundef = {
+  f_name : string;
+  f_ret : type_expr;
+  f_params : (string * type_expr) list;
+  f_body : block;
+  f_loc : Loc.t;
+}
+
+type global =
+  | Gdecl of decl
+  | Gfun of fundef
+  | Gtypedef of string * type_expr * Loc.t
+  | Gstruct of string * (string * type_expr) list * Loc.t
+  | Genum of string option * (string * expr option) list * Loc.t
+  | Gfundecl of string * type_expr * (string * type_expr) list * Loc.t
+      (** function prototype *)
+
+(** A parsed translation unit. *)
+type unit_ = { u_file : string; u_globals : global list }
+
+let pp_unop ppf = function
+  | Neg -> Fmt.string ppf "-"
+  | Lnot -> Fmt.string ppf "!"
+  | Bnot -> Fmt.string ppf "~"
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+    | Shl -> "<<" | Shr -> ">>"
+    | Band -> "&" | Bor -> "|" | Bxor -> "^"
+    | Land -> "&&" | Lor -> "||"
+    | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq -> "==" | Ne -> "!=")

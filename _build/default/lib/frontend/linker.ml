@@ -1,0 +1,99 @@
+(** A simple linker allowing programs consisting of several source files
+    to be processed (Sect. 5.1).
+
+    Linking happens at the parse-tree level: translation units are merged
+    into one, with duplicate type definitions, prototypes and [extern]
+    declarations coalesced.  Exactly one definition is kept per function
+    and per initialized global. *)
+
+exception Error of string
+
+module SSet = Set.Make (String)
+
+let decl_is_def (d : Ast.decl) = d.Ast.d_storage <> Ast.Sto_extern
+
+(** Merge translation units. *)
+let link (units : Ast.unit_ list) : Ast.unit_ =
+  match units with
+  | [] -> raise (Error "no translation units to link")
+  | [ u ] -> u
+  | first :: _ ->
+      let seen_typedefs = ref SSet.empty in
+      let seen_structs = ref SSet.empty in
+      let seen_enums = ref SSet.empty in
+      let seen_funs = ref SSet.empty in
+      let seen_protos = ref SSet.empty in
+      (* variable name -> has a definition been kept yet *)
+      let var_defs = Hashtbl.create 64 in
+      let globals = ref [] in
+      let keep g = globals := g :: !globals in
+      List.iter
+        (fun (u : Ast.unit_) ->
+          List.iter
+            (fun (g : Ast.global) ->
+              match g with
+              | Ast.Gtypedef (name, _, _) ->
+                  if name = "<fwd>" || not (SSet.mem name !seen_typedefs) then begin
+                    seen_typedefs := SSet.add name !seen_typedefs;
+                    keep g
+                  end
+              | Ast.Gstruct (tag, _, _) ->
+                  (* duplicate struct definitions arise naturally from
+                     header inclusion: keep the first occurrence *)
+                  if not (SSet.mem tag !seen_structs) then begin
+                    seen_structs := SSet.add tag !seen_structs;
+                    keep g
+                  end
+              | Ast.Genum (tag, _, _) -> (
+                  match tag with
+                  | Some t when SSet.mem t !seen_enums -> ()
+                  | _ ->
+                      (match tag with
+                      | Some t -> seen_enums := SSet.add t !seen_enums
+                      | None -> ());
+                      keep g)
+              | Ast.Gfun f ->
+                  if SSet.mem f.Ast.f_name !seen_funs then
+                    raise (Error ("duplicate function definition: " ^ f.Ast.f_name))
+                  else begin
+                    seen_funs := SSet.add f.Ast.f_name !seen_funs;
+                    keep g
+                  end
+              | Ast.Gfundecl (name, _, _, _) ->
+                  if not (SSet.mem name !seen_protos) then begin
+                    seen_protos := SSet.add name !seen_protos;
+                    keep g
+                  end
+              | Ast.Gdecl d ->
+                  let name = d.Ast.d_name in
+                  let is_def = decl_is_def d in
+                  (match Hashtbl.find_opt var_defs name with
+                  | None ->
+                      Hashtbl.replace var_defs name is_def;
+                      keep g
+                  | Some true when is_def && d.Ast.d_init <> None ->
+                      raise (Error ("duplicate initialized global: " ^ name))
+                  | Some false when is_def ->
+                      (* replace the extern declaration by the definition;
+                         simplest: keep both, the elaborator keeps the
+                         first occurrence, so insert the definition and
+                         drop the extern that was kept *)
+                      globals :=
+                        List.map
+                          (fun g' ->
+                            match g' with
+                            | Ast.Gdecl d' when d'.Ast.d_name = name -> Ast.Gdecl d
+                            | g' -> g')
+                          !globals;
+                      Hashtbl.replace var_defs name true
+                  | Some _ -> ()))
+            u.Ast.u_globals)
+        units;
+      { Ast.u_file = first.Ast.u_file; u_globals = List.rev !globals }
+
+(** Preprocess, parse and link several named sources. *)
+let parse_and_link ?env (sources : (string * string) list) : Ast.unit_ =
+  let units =
+    List.map (fun (file, src) -> Parser.parse_string ?env ~file src) sources
+  in
+  link units

@@ -1,0 +1,14 @@
+(** A simple linker allowing programs consisting of several source files
+    to be processed (Sect. 5.1): translation units are merged with
+    duplicate type definitions (as arise from header inclusion),
+    prototypes and [extern] declarations coalesced; one definition is
+    kept per function and initialized global. *)
+
+exception Error of string
+
+(** Merge translation units.
+    @raise Error on duplicate definitions. *)
+val link : Ast.unit_ list -> Ast.unit_
+
+(** Preprocess, parse and link several (filename, contents) sources. *)
+val parse_and_link : ?env:Preproc.env -> (string * string) list -> Ast.unit_

@@ -1,0 +1,37 @@
+(** Source locations for the C-subset frontend.
+
+    Every token, AST node and alarm carries a location so that analyzer
+    messages can point back into the analyzed source, as required for the
+    alarm-inspection workflow of the paper (Sect. 3.3). *)
+
+type t = {
+  file : string;  (** source file name (after preprocessing, the original) *)
+  line : int;     (** 1-based line number *)
+  col : int;      (** 1-based column number *)
+}
+
+let make ~file ~line ~col = { file; line; col }
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let is_dummy l = l.line = 0
+
+let pp ppf l =
+  if is_dummy l then Fmt.string ppf "<unknown>"
+  else Fmt.pf ppf "%s:%d:%d" l.file l.line l.col
+
+let to_string l = Fmt.str "%a" pp l
+
+let compare (a : t) (b : t) =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
+let equal a b = compare a b = 0
+
+(** A located value. *)
+type 'a loc = { item : 'a; loc : t }
+
+let with_loc loc item = { item; loc }

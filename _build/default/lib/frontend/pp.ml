@@ -1,0 +1,104 @@
+(** Pretty-printing of the typed IR, used by tracing facilities
+    (Sect. 5.3: "tracing facilities with various degrees of detail") and by
+    the slicer output. *)
+
+open Tast
+
+let pp_unop ppf = function
+  | Neg -> Fmt.string ppf "-"
+  | Bnot -> Fmt.string ppf "~"
+  | Lnot -> Fmt.string ppf "!"
+  | Fabs -> Fmt.string ppf "fabs"
+  | Sqrt -> Fmt.string ppf "sqrt"
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Shl -> "<<" | Shr -> ">>"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Land -> "&&" | Lor -> "||"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+
+let pp_binop ppf op = Fmt.string ppf (string_of_binop op)
+
+let rec pp_lval ppf (lv : lval) =
+  match lv.ldesc with
+  | Lvar v -> Fmt.string ppf v.v_name
+  | Lindex (a, i) -> Fmt.pf ppf "%a[%a]" pp_lval a pp_expr i
+  | Lfield (a, f) -> Fmt.pf ppf "%a.%s" pp_lval a f
+  | Lderef v -> Fmt.pf ppf "*%s" v.v_name
+
+and pp_expr ppf (e : expr) =
+  match e.edesc with
+  | Eint n -> Fmt.int ppf n
+  | Efloat f -> Fmt.pf ppf "%h" f
+  | Elval lv -> pp_lval ppf lv
+  | Eunop ((Fabs | Sqrt) as op, a) -> Fmt.pf ppf "%a(%a)" pp_unop op pp_expr a
+  | Eunop (op, a) -> Fmt.pf ppf "%a(%a)" pp_unop op pp_expr a
+  | Ebinop (op, a, b) -> Fmt.pf ppf "(%a %a %a)" pp_expr a pp_binop op pp_expr b
+  | Ecast (s, a) -> Fmt.pf ppf "(%a)(%a)" Ctypes.pp_scalar s pp_expr a
+
+let pp_arg ppf = function
+  | Aval e -> pp_expr ppf e
+  | Aref lv -> Fmt.pf ppf "&%a" pp_lval lv
+
+let rec pp_stmt ?(indent = 0) ppf (s : stmt) =
+  let pad = String.make indent ' ' in
+  match s.sdesc with
+  | Sassign (lv, e) -> Fmt.pf ppf "%s%a = %a;" pad pp_lval lv pp_expr e
+  | Scall (None, f, args) ->
+      Fmt.pf ppf "%s%s(%a);" pad f Fmt.(list ~sep:comma pp_arg) args
+  | Scall (Some v, f, args) ->
+      Fmt.pf ppf "%s%s = %s(%a);" pad v.v_name f
+        Fmt.(list ~sep:comma pp_arg) args
+  | Sif (c, a, []) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad pp_expr c
+        (pp_block ~indent:(indent + 2)) a pad
+  | Sif (c, a, b) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_expr c
+        (pp_block ~indent:(indent + 2)) a pad
+        (pp_block ~indent:(indent + 2)) b pad
+  | Swhile (li, c, b) ->
+      Fmt.pf ppf "%swhile /*#%d*/ (%a) {@\n%a@\n%s}" pad li.loop_id pp_expr c
+        (pp_block ~indent:(indent + 2)) b pad
+  | Sreturn None -> Fmt.pf ppf "%sreturn;" pad
+  | Sreturn (Some e) -> Fmt.pf ppf "%sreturn %a;" pad pp_expr e
+  | Sbreak -> Fmt.pf ppf "%sbreak;" pad
+  | Scontinue -> Fmt.pf ppf "%scontinue;" pad
+  | Swait -> Fmt.pf ppf "%s__astree_wait_for_clock();" pad
+  | Sassert e -> Fmt.pf ppf "%s__astree_assert(%a);" pad pp_expr e
+  | Sassume e -> Fmt.pf ppf "%s__astree_assume(%a);" pad pp_expr e
+  | Sskip -> Fmt.pf ppf "%s;" pad
+  | Slocal (v, None) ->
+      Fmt.pf ppf "%s%a %s;" pad Ctypes.pp v.v_ty v.v_name
+  | Slocal (v, Some e) ->
+      Fmt.pf ppf "%s%a %s = %a;" pad Ctypes.pp v.v_ty v.v_name pp_expr e
+
+and pp_block ?(indent = 0) ppf (b : block) =
+  Fmt.(list ~sep:(any "@\n") (pp_stmt ~indent)) ppf b
+
+let pp_fundef ppf (fd : fundef) =
+  let pp_param ppf = function
+    | Pval v -> Fmt.pf ppf "%a %s" Ctypes.pp v.v_ty v.v_name
+    | Pref v -> Fmt.pf ppf "%a %s" Ctypes.pp v.v_ty v.v_name
+  in
+  Fmt.pf ppf "%a %s(%a) {@\n%a@\n}" Ctypes.pp fd.fd_ret fd.fd_name
+    Fmt.(list ~sep:comma pp_param) fd.fd_params
+    (pp_block ~indent:2) fd.fd_body
+
+let rec pp_init ppf = function
+  | Iint n -> Fmt.int ppf n
+  | Ifloat f -> Fmt.pf ppf "%h" f
+  | Iarray l -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma pp_init) l
+  | Istruct l ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(list ~sep:comma (pair ~sep:(any "=") string pp_init)) l
+  | Izero -> Fmt.string ppf "0"
+
+let pp_program ppf (p : program) =
+  List.iter
+    (fun (v, init) ->
+      Fmt.pf ppf "%a %s = %a;@\n" Ctypes.pp v.v_ty v.v_name pp_init init)
+    p.p_globals;
+  List.iter (fun (_, fd) -> Fmt.pf ppf "%a@\n@\n" pp_fundef fd) p.p_funs
+
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,29 @@
+(** A standard C preprocessor (Sect. 5.1): [#include "file"], object-like
+    and function-like [#define], [#undef], conditional inclusion
+    ([#if]/[#ifdef]/[#ifndef]/[#elif]/[#else]/[#endif]) with integer
+    constant expressions and [defined].  The output is a flattened source
+    string with line markers for the lexer. *)
+
+exception Error of string * Loc.t
+
+type macro =
+  | Object of string                  (** replacement text *)
+  | Function of string list * string  (** parameters, replacement text *)
+
+type env
+
+(** [make_env ~include_paths ~read_file ()]: [read_file] abstracts file
+    loading (for tests and in-memory "files"); [__ASTREE__] is
+    predefined. *)
+val make_env :
+  ?include_paths:string list ->
+  ?read_file:(string -> string option) ->
+  unit ->
+  env
+
+val define : env -> string -> macro -> unit
+val undefine : env -> string -> unit
+val is_defined : env -> string -> bool
+
+(** Preprocess a source string. *)
+val run : ?env:env -> file:string -> string -> string

@@ -1,0 +1,8 @@
+(** Post-elaboration simplifications (Sect. 5.1): alarm-preserving
+    constant folding, replacement of constant-array reads at constant
+    subscripts (hardware description tables are "optimized away"), and
+    deletion of unused global variables. *)
+
+type stats = { globals_before : int; globals_after : int }
+
+val run : Tast.program -> Tast.program * stats

@@ -1,0 +1,112 @@
+(** Lexical tokens of the C subset (Sect. 5.1). *)
+
+type t =
+  (* literals *)
+  | INT_LIT of int * Ctypes.irank * Ctypes.signedness
+      (** integer literal with the type deduced from its suffix/value *)
+  | FLOAT_LIT of float * Ctypes.fkind
+  | CHAR_LIT of int
+  | STRING_LIT of string  (** accepted only in directive positions *)
+  | IDENT of string
+  (* keywords *)
+  | KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG | KW_FLOAT | KW_DOUBLE
+  | KW_SIGNED | KW_UNSIGNED | KW_BOOL
+  | KW_STRUCT | KW_ENUM | KW_TYPEDEF
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR | KW_RETURN | KW_BREAK
+  | KW_CONTINUE | KW_SWITCH | KW_CASE | KW_DEFAULT
+  | KW_STATIC | KW_EXTERN | KW_CONST | KW_VOLATILE | KW_SIZEOF
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | COLON | QUESTION | DOT | ARROW
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | BAR | CARET | TILDE | BANG
+  | LSHIFT | RSHIFT
+  | LT | GT | LE | GE | EQEQ | NEQ
+  | ANDAND | BARBAR
+  | ASSIGN
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | PERCENTEQ
+  | AMPEQ | BAREQ | CARETEQ | LSHIFTEQ | RSHIFTEQ
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let keyword_table : (string * t) list =
+  [
+    ("void", KW_VOID); ("char", KW_CHAR); ("short", KW_SHORT);
+    ("int", KW_INT); ("long", KW_LONG); ("float", KW_FLOAT);
+    ("double", KW_DOUBLE); ("signed", KW_SIGNED); ("unsigned", KW_UNSIGNED);
+    ("_Bool", KW_BOOL); ("struct", KW_STRUCT); ("enum", KW_ENUM);
+    ("typedef", KW_TYPEDEF); ("if", KW_IF); ("else", KW_ELSE);
+    ("while", KW_WHILE); ("do", KW_DO); ("for", KW_FOR);
+    ("return", KW_RETURN); ("break", KW_BREAK); ("continue", KW_CONTINUE);
+    ("switch", KW_SWITCH); ("case", KW_CASE); ("default", KW_DEFAULT);
+    ("static", KW_STATIC); ("extern", KW_EXTERN); ("const", KW_CONST);
+    ("volatile", KW_VOLATILE); ("sizeof", KW_SIZEOF);
+  ]
+
+let pp ppf = function
+  | INT_LIT (n, _, _) -> Fmt.pf ppf "%d" n
+  | FLOAT_LIT (f, _) -> Fmt.pf ppf "%g" f
+  | CHAR_LIT c -> Fmt.pf ppf "'\\x%02x'" c
+  | STRING_LIT s -> Fmt.pf ppf "%S" s
+  | IDENT s -> Fmt.string ppf s
+  | KW_VOID -> Fmt.string ppf "void"
+  | KW_CHAR -> Fmt.string ppf "char"
+  | KW_SHORT -> Fmt.string ppf "short"
+  | KW_INT -> Fmt.string ppf "int"
+  | KW_LONG -> Fmt.string ppf "long"
+  | KW_FLOAT -> Fmt.string ppf "float"
+  | KW_DOUBLE -> Fmt.string ppf "double"
+  | KW_SIGNED -> Fmt.string ppf "signed"
+  | KW_UNSIGNED -> Fmt.string ppf "unsigned"
+  | KW_BOOL -> Fmt.string ppf "_Bool"
+  | KW_STRUCT -> Fmt.string ppf "struct"
+  | KW_ENUM -> Fmt.string ppf "enum"
+  | KW_TYPEDEF -> Fmt.string ppf "typedef"
+  | KW_IF -> Fmt.string ppf "if"
+  | KW_ELSE -> Fmt.string ppf "else"
+  | KW_WHILE -> Fmt.string ppf "while"
+  | KW_DO -> Fmt.string ppf "do"
+  | KW_FOR -> Fmt.string ppf "for"
+  | KW_RETURN -> Fmt.string ppf "return"
+  | KW_BREAK -> Fmt.string ppf "break"
+  | KW_CONTINUE -> Fmt.string ppf "continue"
+  | KW_SWITCH -> Fmt.string ppf "switch"
+  | KW_CASE -> Fmt.string ppf "case"
+  | KW_DEFAULT -> Fmt.string ppf "default"
+  | KW_STATIC -> Fmt.string ppf "static"
+  | KW_EXTERN -> Fmt.string ppf "extern"
+  | KW_CONST -> Fmt.string ppf "const"
+  | KW_VOLATILE -> Fmt.string ppf "volatile"
+  | KW_SIZEOF -> Fmt.string ppf "sizeof"
+  | LPAREN -> Fmt.string ppf "(" | RPAREN -> Fmt.string ppf ")"
+  | LBRACE -> Fmt.string ppf "{" | RBRACE -> Fmt.string ppf "}"
+  | LBRACKET -> Fmt.string ppf "[" | RBRACKET -> Fmt.string ppf "]"
+  | SEMI -> Fmt.string ppf ";" | COMMA -> Fmt.string ppf ","
+  | COLON -> Fmt.string ppf ":" | QUESTION -> Fmt.string ppf "?"
+  | DOT -> Fmt.string ppf "." | ARROW -> Fmt.string ppf "->"
+  | PLUS -> Fmt.string ppf "+" | MINUS -> Fmt.string ppf "-"
+  | STAR -> Fmt.string ppf "*" | SLASH -> Fmt.string ppf "/"
+  | PERCENT -> Fmt.string ppf "%"
+  | AMP -> Fmt.string ppf "&" | BAR -> Fmt.string ppf "|"
+  | CARET -> Fmt.string ppf "^" | TILDE -> Fmt.string ppf "~"
+  | BANG -> Fmt.string ppf "!"
+  | LSHIFT -> Fmt.string ppf "<<" | RSHIFT -> Fmt.string ppf ">>"
+  | LT -> Fmt.string ppf "<" | GT -> Fmt.string ppf ">"
+  | LE -> Fmt.string ppf "<=" | GE -> Fmt.string ppf ">="
+  | EQEQ -> Fmt.string ppf "==" | NEQ -> Fmt.string ppf "!="
+  | ANDAND -> Fmt.string ppf "&&" | BARBAR -> Fmt.string ppf "||"
+  | ASSIGN -> Fmt.string ppf "="
+  | PLUSEQ -> Fmt.string ppf "+=" | MINUSEQ -> Fmt.string ppf "-="
+  | STAREQ -> Fmt.string ppf "*=" | SLASHEQ -> Fmt.string ppf "/="
+  | PERCENTEQ -> Fmt.string ppf "%%="
+  | AMPEQ -> Fmt.string ppf "&=" | BAREQ -> Fmt.string ppf "|="
+  | CARETEQ -> Fmt.string ppf "^="
+  | LSHIFTEQ -> Fmt.string ppf "<<=" | RSHIFTEQ -> Fmt.string ppf ">>="
+  | PLUSPLUS -> Fmt.string ppf "++" | MINUSMINUS -> Fmt.string ppf "--"
+  | EOF -> Fmt.string ppf "<eof>"
+
+let to_string t = Fmt.str "%a" pp t
+
+(** A token paired with its source location. *)
+type spanned = { tok : t; tloc : Loc.t }

@@ -1,0 +1,13 @@
+(** Type-checking and elaboration from {!Ast} to the normalized {!Tast}
+    IR (Sect. 5.1): explicit types, unique variable identifiers, pure
+    expressions (side effects and calls hoisted into statements), all
+    sugar desugared, analyzer intrinsics recognized, syntactically
+    constant expressions evaluated. *)
+
+exception Error of string * Loc.t
+
+(** Elaborate a parsed translation unit.  [main] is the user-supplied
+    entry point (Sect. 5.3); [target] the machine description.
+    @raise Error on subset violations or type errors. *)
+val elab_program :
+  ?target:Ctypes.target -> ?main:string -> Ast.unit_ -> Tast.program

@@ -1,0 +1,1 @@
+lib/gen/generator.ml: Array Buffer Fmt Hashtbl List Option Rng Shapes String

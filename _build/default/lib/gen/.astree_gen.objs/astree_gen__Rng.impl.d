@@ -1,0 +1,1 @@
+lib/gen/rng.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/gen/shapes.ml: Fmt Int32 List Rng String

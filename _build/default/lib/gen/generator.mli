@@ -1,0 +1,40 @@
+(** Synthetic program-family generator: periodic synchronous C programs
+    of parametric size, structurally matching the family of Sect. 4
+    (volatile inputs with range specifications, state initialization,
+    an infinite loop of computations ended by the clock tick).
+
+    All safe shapes are error-free by construction, so on generated
+    programs every alarm is a false alarm — the experimental setup of
+    Sect. 3.1. *)
+
+type config = {
+  seed : int;
+  target_lines : int;      (** approximate generated source lines *)
+  mix : Shapes.kind list;  (** shape kinds, cycled *)
+  bug_ratio : float;       (** fraction of injected defects; 0 = reference *)
+}
+
+val default : config
+
+type generated = {
+  source : string;
+  n_shapes : int;
+  n_lines : int;
+  shape_kinds : (Shapes.kind * int) list;  (** census per kind *)
+  partition_fns : string list;
+      (** functions needing trace partitioning (Sect. 7.1.5); also
+          recorded in the source as an [astree-partition] marker *)
+}
+
+val generate : config -> generated
+
+(** The reference program of the refinement experiment (Sect. 3.1). *)
+val reference : ?target_lines:int -> unit -> generated
+
+(** A member of the family at roughly [kloc] thousand source lines. *)
+val member : ?seed:int -> kloc:float -> unit -> generated
+
+(** Split a generated program into [n_files] translation units plus a
+    main file connected by [extern] declarations — exercising the
+    linker of Sect. 5.1.  Returns (filename, contents) pairs. *)
+val to_files : config -> n_files:int -> (string * string) list

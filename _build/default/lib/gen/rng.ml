@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random numbers (splitmix64) for the synthetic
+    program-family generator.  Determinism matters: the experiments must
+    regenerate the exact same programs across runs. *)
+
+type t = { mutable state : int64 }
+
+let make (seed : int) : t = { state = Int64.of_int seed }
+
+let next_int64 (r : t) : int64 =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform integer in [0, n). *)
+let int (r : t) (n : int) : int =
+  if n <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 r) 1) (Int64.of_int n))
+
+(** Uniform integer in [lo, hi]. *)
+let range (r : t) (lo : int) (hi : int) : int = lo + int r (hi - lo + 1)
+
+(** Uniform float in [0, 1). *)
+let float (r : t) : float =
+  Int64.to_float (Int64.shift_right_logical (next_int64 r) 11)
+  *. 0x1.0p-53
+
+(** Uniform float in [lo, hi]. *)
+let float_range (r : t) (lo : float) (hi : float) : float =
+  lo +. (float r *. (hi -. lo))
+
+let bool (r : t) : bool = int r 2 = 0
+
+(** Pick an element of a non-empty list. *)
+let choose (r : t) (l : 'a list) : 'a = List.nth l (int r (List.length l))

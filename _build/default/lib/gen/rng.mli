@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random numbers (splitmix64) for the synthetic
+    program-family generator: the experiments must regenerate the exact
+    same programs across runs. *)
+
+type t
+
+val make : int -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, n). *)
+val int : t -> int -> int
+
+(** Uniform in [lo, hi]. *)
+val range : t -> int -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val float_range : t -> float -> float -> float
+val bool : t -> bool
+val choose : t -> 'a list -> 'a

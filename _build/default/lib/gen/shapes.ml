@@ -1,0 +1,552 @@
+(** Code shapes of the synthetic program family.
+
+    Each shape instantiates, with fresh names and randomized constants,
+    one of the idioms the paper attributes to the analyzed fly-by-wire
+    family (Sect. 4, 6.2.2–6.2.4, 7.1.5, 10):
+
+    - event counters gated by the clock (clocked domain, Sect. 6.2.1),
+    - second-order digital filters (Fig. 1, ellipsoid domain),
+    - rate limiters (octagon domain, the Sect. 6.2.2 fragment),
+    - boolean relay logic in the "store the test, retrieve it later"
+      style of the code generator (decision trees, Sect. 6.2.4, 10),
+    - interpolation tables scanned with clamped indices (Sect. 7.1.5),
+    - clamped integrators and first-order lags (widening thresholds and
+      delayed widening, Sect. 7.1.2–7.1.3),
+    - large "hardware description" arrays (shrunk cells, Sect. 6.1.1),
+    - mode switches and structured channels.
+
+    All constants are chosen so that every instance is free of run-time
+    errors — analyzable with zero alarms by a sufficiently precise
+    analyzer, like the paper's 10-year-in-service reference program.
+    [Buggy] variants inject one real defect each, used by the test suite
+    to check that true errors are reported. *)
+
+type instance = {
+  globals : string list;  (** global declaration lines *)
+  inputs : (string * float * float) list;  (** volatile input ranges *)
+  init : string list;     (** statements for main, before the loop *)
+  fn : string list;       (** function definition lines *)
+  call : string;          (** call statement for the loop body *)
+}
+
+let f32 (x : float) : string =
+  (* a float literal that round-trips through binary32 *)
+  Fmt.str "%.9gf" (Int32.float_of_bits (Int32.bits_of_float x))
+
+(* ------------------------------------------------------------------ *)
+
+(** Event counter bounded by the operating time (Sect. 6.2.1). *)
+let counter (r : Rng.t) (i : int) : instance =
+  let ev = Fmt.str "ev_%d" i and cnt = Fmt.str "cnt_%d" i in
+  let with_reset = Rng.bool r in
+  let limit = Rng.range r 1000 100000 in
+  {
+    globals =
+      [ Fmt.str "volatile _Bool %s;" ev; Fmt.str "int %s;" cnt ];
+    inputs = [ (ev, 0.0, 1.0) ];
+    init = [ Fmt.str "%s = 0;" cnt ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        Fmt.str "  if (%s) { %s = %s + 1; }" ev cnt cnt;
+      ]
+      @ (if with_reset then
+           [ Fmt.str "  if (%s > %d) { %s = 0; }" cnt limit cnt ]
+         else [])
+      @ [ "}" ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Second-order digital filter (Fig. 1; ellipsoid domain, Sect. 6.2.3).
+    Randomly single- or double-precision: the ellipsoid's delta function
+    must absorb the rounding of either kind. *)
+let filter (r : Rng.t) (i : int) : instance =
+  let b = Rng.float_range r 0.5 0.88 in
+  (* |a| < 2 sqrt(b), kept well inside the ellipse condition *)
+  let a = Rng.float_range r 0.3 (1.6 *. sqrt b) in
+  let a = if Rng.bool r then a else -.a in
+  let amp = Rng.float_range r 0.5 2.0 in
+  let dbl = Rng.int r 4 = 0 in
+  let ty = if dbl then "double" else "float" in
+  let lit = if dbl then fun x -> Fmt.str "%.17g" x else f32 in
+  let zero = if dbl then "0.0" else "0.0f" in
+  let fin = Fmt.str "fin_%d" i
+  and rst = Fmt.str "rst_%d" i
+  and fx = Fmt.str "fx_%d" i
+  and fy = Fmt.str "fy_%d" i in
+  {
+    globals =
+      [
+        Fmt.str "volatile %s %s;" ty fin;
+        Fmt.str "volatile _Bool %s;" rst;
+        Fmt.str "%s %s;" ty fx;
+        Fmt.str "%s %s;" ty fy;
+      ];
+    inputs = [ (fin, -.amp, amp); (rst, 0.0, 1.0) ];
+    init = [ Fmt.str "%s = %s;" fx zero; Fmt.str "%s = %s;" fy zero ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        Fmt.str "  %s t;" ty;
+        Fmt.str "  t = %s;" fin;
+        Fmt.str "  if (%s) {" rst;
+        Fmt.str "    %s = t;" fy;
+        Fmt.str "    %s = t;" fx;
+        "  } else {";
+        Fmt.str "    %s x2;" ty;
+        Fmt.str "    x2 = %s * %s - %s * %s + t;" (lit a) fx (lit b) fy;
+        Fmt.str "    %s = %s;" fy fx;
+        Fmt.str "    %s = x2;" fx;
+        "  }";
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Rate limiter (the octagon fragment of Sect. 6.2.2). *)
+let rate_limiter (r : Rng.t) (i : int) : instance =
+  let amp = float_of_int (Rng.range r 50 500) in
+  let step = Rng.float_range r 0.5 4.0 in
+  let rin = Fmt.str "rin_%d" i
+  and vcal = Fmt.str "rv_%d" i
+  and z = Fmt.str "rz_%d" i
+  and l = Fmt.str "rl_%d" i
+  and out = Fmt.str "rout_%d" i in
+  (* the paper's exact fragment (Sect. 6.2.2):
+       R := X - Z;  L := X;  if (R > V) L := Z + V;
+     with Z the previous output; the limited value then feeds a 16-bit
+     actuator register, whose conversion is provable only through the
+     octagon invariant c <= L - Z <= d ("proves that subsequent
+     operations on L will not overflow") *)
+  let scale = 30000.0 /. (amp +. (4.0 *. step) +. 8.0) in
+  {
+    globals =
+      [ Fmt.str "volatile float %s;" rin;
+        Fmt.str "volatile float %s;" vcal;
+        Fmt.str "float %s;" z;
+        Fmt.str "float %s;" l;
+        Fmt.str "short %s;" out ];
+    inputs = [ (rin, -.amp, amp); (vcal, 0.0, step) ];
+    init =
+      [ Fmt.str "%s = 0.0f;" z; Fmt.str "%s = 0.0f;" l;
+        Fmt.str "%s = 0;" out ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        "  float rr;";
+        "  float x;";
+        "  float v;";
+        Fmt.str "  x = %s;" rin;
+        Fmt.str "  v = %s;" vcal;
+        Fmt.str "  rr = x - %s;" z;
+        Fmt.str "  %s = x;" l;
+        Fmt.str "  if (rr > v) { %s = %s + v; }" l z;
+        Fmt.str "  %s = %s;" z l;
+        Fmt.str "  %s = (short)(%s * %s);" out (f32 scale) l;
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Boolean relay logic with a guarded division (Sect. 6.2.4, 10). *)
+let relay (r : Rng.t) (i : int) : instance =
+  let hi = Rng.range r 10 200 in
+  let bx = Fmt.str "bx_%d" i
+  and bz = Fmt.str "bz_%d" i
+  and bv = Fmt.str "bv_%d" i
+  and res = Fmt.str "bres_%d" i in
+  {
+    globals =
+      [
+        Fmt.str "volatile int %s;" bx;
+        Fmt.str "_Bool %s;" bz;
+        Fmt.str "_Bool %s;" bv;
+        Fmt.str "float %s;" res;
+      ];
+    inputs = [ (bx, 0.0, float_of_int hi) ];
+    init = [ Fmt.str "%s = 0.0f;" res ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        "  int x;";
+        Fmt.str "  x = %s;" bx;
+        (* the generated-code style: one test, stored, retrieved later *)
+        Fmt.str "  %s = (x == 0);" bz;
+        Fmt.str "  %s = (x > %d);" bv (hi / 2);
+        Fmt.str "  if (%s) { %s = 1.0f; } else { %s = 0.5f; }" bv res res;
+        Fmt.str "  if (!%s) { %s = %s / (float)x; }" bz res res;
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Interpolation table with clamped index (Sect. 7.1.5 workloads). *)
+let interpolation (r : Rng.t) (i : int) : instance =
+  let n = Rng.range r 6 12 in
+  let table =
+    List.init n (fun k ->
+        f32 (float_of_int k +. Rng.float_range r 0.0 1.0))
+  in
+  let ix = Fmt.str "ix_%d" i
+  and tab = Fmt.str "itab_%d" i
+  and iy = Fmt.str "iy_%d" i in
+  {
+    globals =
+      [
+        Fmt.str "const float %s[%d] = {%s};" tab n (String.concat ", " table);
+        Fmt.str "volatile float %s;" ix;
+        Fmt.str "float %s;" iy;
+      ];
+    inputs = [ (ix, 0.0, float_of_int (n - 1)) ];
+    init = [ Fmt.str "%s = 0.0f;" iy ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        "  float x;";
+        "  int k;";
+        "  float fr;";
+        Fmt.str "  x = %s;" ix;
+        "  k = (int)x;";
+        "  if (k < 0) { k = 0; }";
+        Fmt.str "  if (k > %d) { k = %d; }" (n - 2) (n - 2);
+        "  fr = x - (float)k;";
+        Fmt.str "  %s = %s[k] + (%s[k+1] - %s[k]) * fr;" iy tab tab tab;
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Leaky integrator: bounded by the threshold widening (Sect. 7.1.2). *)
+let integrator (r : Rng.t) (i : int) : instance =
+  let alpha = Rng.float_range r 0.5 0.95 in
+  let u = Rng.float_range r 0.5 5.0 in
+  let gu = Fmt.str "gu_%d" i and gx = Fmt.str "gx_%d" i in
+  {
+    globals = [ Fmt.str "volatile float %s;" gu; Fmt.str "float %s;" gx ];
+    inputs = [ (gu, -.u, u) ];
+    init = [ Fmt.str "%s = 0.0f;" gx ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        Fmt.str "  %s = %s * %s + %s;" gx (f32 alpha) gx gu;
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** First-order lag pair: the delayed-widening example of Sect. 7.1.3
+    (X := Y + gamma; Y := alpha * X + delta). *)
+let lag (r : Rng.t) (i : int) : instance =
+  let alpha = Rng.float_range r 0.5 0.9 in
+  let gamma = Rng.float_range r 0.1 2.0 in
+  let u = Rng.float_range r 0.5 3.0 in
+  let lx = Fmt.str "lx_%d" i
+  and ly = Fmt.str "ly_%d" i
+  and lu = Fmt.str "lu_%d" i in
+  {
+    globals =
+      [
+        Fmt.str "float %s;" lx;
+        Fmt.str "float %s;" ly;
+        Fmt.str "volatile float %s;" lu;
+      ];
+    inputs = [ (lu, -.u, u) ];
+    init = [ Fmt.str "%s = 0.0f;" lx; Fmt.str "%s = 0.0f;" ly ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        Fmt.str "  %s = %s + %s;" lx ly (f32 gamma);
+        Fmt.str "  %s = %s * %s + %s;" ly (f32 alpha) lx lu;
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Large hardware-description array, shrunk to one cell (Sect. 6.1.1). *)
+let hw_array (r : Rng.t) (i : int) : instance =
+  let n = 128 + (Rng.int r 3 * 64) in
+  let seed = f32 (Rng.float_range r 1.0 10.0) in
+  let tab = Fmt.str "htab_%d" i
+  and idx = Fmt.str "hidx_%d" i
+  and out = Fmt.str "hval_%d" i in
+  {
+    globals =
+      [
+        Fmt.str "float %s[%d] = {%s, %s};" tab n seed seed;
+        Fmt.str "volatile int %s;" idx;
+        Fmt.str "float %s;" out;
+      ];
+    inputs = [ (idx, 0.0, float_of_int (n - 1)) ];
+    init = [ Fmt.str "%s = 0.0f;" out ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        "  int k;";
+        Fmt.str "  k = %s;" idx;
+        "  if (k < 0) { k = 0; }";
+        Fmt.str "  if (k > %d) { k = %d; }" (n - 1) (n - 1);
+        Fmt.str "  %s = %s[k];" out tab;
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Mode switch (exercises the switch desugaring and enums). *)
+let mode_switch (r : Rng.t) (i : int) : instance =
+  let modes = Rng.range r 3 5 in
+  let md = Fmt.str "mode_%d" i and out = Fmt.str "mout_%d" i in
+  let cases =
+    List.init modes (fun k ->
+        Fmt.str "    case %d: %s = %s; break;" k out
+          (f32 (float_of_int k *. 0.25)))
+  in
+  {
+    globals = [ Fmt.str "volatile int %s;" md; Fmt.str "float %s;" out ];
+    inputs = [ (md, 0.0, float_of_int (modes - 1)) ];
+    init = [ Fmt.str "%s = 0.0f;" out ];
+    fn =
+      [ Fmt.str "void shape_%d(void) {" i; Fmt.str "  switch (%s) {" md ]
+      @ cases
+      @ [ Fmt.str "    default: %s = 0.0f; break;" out; "  }"; "}" ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Structured measurement channel with validity flag. *)
+let channel (r : Rng.t) (i : int) : instance =
+  let amp = float_of_int (Rng.range r 20 100) in
+  let sname = Fmt.str "chan_%d" i
+  and g = Fmt.str "ch_%d" i
+  and cin = Fmt.str "cin_%d" i in
+  {
+    globals =
+      [
+        Fmt.str "struct %s { float val; _Bool ok; };" sname;
+        Fmt.str "struct %s %s;" sname g;
+        Fmt.str "volatile float %s;" cin;
+      ];
+    inputs = [ (cin, -.amp *. 2.0, amp *. 2.0) ];
+    init = [ Fmt.str "%s.val = 0.0f;" g; Fmt.str "%s.ok = 0;" g ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        Fmt.str "  %s.val = %s;" g cin;
+        Fmt.str "  %s.ok = (%s.val > -%s) && (%s.val < %s);" g g (f32 amp) g
+          (f32 amp);
+        Fmt.str "  if (%s.ok) { %s.val = %s.val * 0.5f; }" g g g;
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Chained boolean relays (Sect. 7.2.3, 10): the generated code copies
+    test results through several boolean variables before using them.
+    The guarded division needs the 3-deep chain b3 := b2 := b1 := (x==0)
+    related to x in one decision-tree pack, so a pack bound below 3 loses
+    the proof; the extra "churn" copies b4.. only inflate packs (and
+    analysis time) when the bound allows them in. *)
+let relay_chain (r : Rng.t) (i : int) : instance =
+  let hi = Rng.range r 20 200 in
+  let churn = 5 in
+  let b k = Fmt.str "cb%d_%d" k i in
+  let x = Fmt.str "cbx_%d" i and res = Fmt.str "cbr_%d" i in
+  {
+    globals =
+      Fmt.str "volatile int %s;" x
+      :: Fmt.str "float %s;" res
+      :: List.init (3 + churn) (fun k -> Fmt.str "_Bool %s;" (b (k + 1)));
+    inputs = [ (x, 0.0, float_of_int hi) ];
+    init = [ Fmt.str "%s = 0.0f;" res ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        "  int v;";
+        Fmt.str "  v = %s;" x;
+        Fmt.str "  %s = (v == 0);" (b 1);
+        Fmt.str "  %s = %s;" (b 2) (b 1);
+        Fmt.str "  %s = %s;" (b 3) (b 2);
+      ]
+      @ List.init churn (fun k ->
+            Fmt.str "  %s = %s;" (b (4 + k)) (b (3 + k)))
+      @ [
+          Fmt.str "  if (!%s) { %s = 100.0f / (float)v; }" (b 3) res;
+          "}";
+        ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Exponential decay written as X := X - c*X: precise only through the
+    symbolic linearization of Sect. 6.3 (the paper's own example). *)
+let decay (r : Rng.t) (i : int) : instance =
+  let c = Rng.float_range r 0.1 0.4 in
+  let amp = Rng.float_range r 0.5 2.0 in
+  let dx = Fmt.str "dx_%d" i and du = Fmt.str "du_%d" i in
+  let out = Fmt.str "dout_%d" i in
+  {
+    globals = [ Fmt.str "float %s;" dx; Fmt.str "volatile float %s;" du;
+                Fmt.str "short %s;" out ];
+    inputs = [ (du, -.amp, amp) ];
+    init = [ Fmt.str "%s = 0.0f;" dx; Fmt.str "%s = 0;" out ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        Fmt.str "  %s = %s + %s;" dx dx du;
+        (* bottom-up interval evaluation of X - c*X loses the correlation
+           between the two occurrences of X and diverges; the linear form
+           (1-c)*X stays contracting *)
+        Fmt.str "  %s = %s - %s * %s;" dx dx (f32 c) dx;
+        Fmt.str "  %s = (short)(%s * 100.0f);" out dx;
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Piecewise-defined slope followed by a division: safe on each branch,
+    but the join loses the branch correlation; trace partitioning
+    (Sect. 7.1.5) delays the merge past the division. *)
+let piecewise (r : Rng.t) (i : int) : instance =
+  let s1 = Rng.float_range r 1.0 4.0 in
+  let s2 = -.Rng.float_range r 1.0 4.0 in
+  let pin = Fmt.str "pin_%d" i and out = Fmt.str "pout_%d" i in
+  {
+    globals = [ Fmt.str "volatile float %s;" pin; Fmt.str "float %s;" out ];
+    inputs = [ (pin, -10.0, 10.0) ];
+    init = [ Fmt.str "%s = 0.0f;" out ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        "  float s;";
+        "  float o;";
+        "  float x;";
+        Fmt.str "  x = %s;" pin;
+        Fmt.str "  if (x < 0.0f) { s = %s; o = 1.0f; } else { s = %s; o = 3.0f; }"
+          (f32 s1) (f32 s2);
+        Fmt.str "  %s = o / s;" out;
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Buggy variants (for testing true-alarm detection)                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Division whose divisor genuinely crosses zero. *)
+let bug_division (r : Rng.t) (i : int) : instance =
+  let hi = Rng.range r 10 100 in
+  let x = Fmt.str "dbx_%d" i and y = Fmt.str "dby_%d" i in
+  {
+    globals = [ Fmt.str "volatile int %s;" x; Fmt.str "float %s;" y ];
+    inputs = [ (x, 0.0, float_of_int hi) ];
+    init = [ Fmt.str "%s = 0.0f;" y ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        Fmt.str "  %s = 100.0f / (float)(%s - %d);" y x (hi / 2);
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Array access with an unclamped index. *)
+let bug_index (r : Rng.t) (i : int) : instance =
+  let n = Rng.range r 4 16 in
+  let tab = Fmt.str "obt_%d" i
+  and idx = Fmt.str "obi_%d" i
+  and out = Fmt.str "obo_%d" i in
+  {
+    globals =
+      [
+        Fmt.str "float %s[%d];" tab n;
+        Fmt.str "volatile int %s;" idx;
+        Fmt.str "float %s;" out;
+      ];
+    inputs = [ (idx, 0.0, float_of_int n) ] (* one past the end *);
+    init = [ Fmt.str "%s = 0.0f;" out ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        Fmt.str "  %s = %s[%s];" out tab idx;
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(** Integrator with gain >= 1: genuinely diverges (overflow). *)
+let bug_overflow (r : Rng.t) (i : int) : instance =
+  let gu = Fmt.str "ofu_%d" i and gx = Fmt.str "ofx_%d" i in
+  ignore r;
+  {
+    globals = [ Fmt.str "volatile float %s;" gu; Fmt.str "float %s;" gx ];
+    inputs = [ (gu, 0.5, 1.0) ];
+    init = [ Fmt.str "%s = 1.0f;" gx ];
+    fn =
+      [
+        Fmt.str "void shape_%d(void) {" i;
+        Fmt.str "  %s = %s * 2.0f + %s;" gx gx gu;
+        "}";
+      ];
+    call = Fmt.str "shape_%d();" i;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type kind =
+  | Counter
+  | Filter
+  | Rate_limiter
+  | Relay
+  | Interpolation
+  | Integrator
+  | Lag
+  | Hw_array
+  | Mode_switch
+  | Channel
+  | Decay
+  | Piecewise
+  | Relay_chain
+  | Bug_division
+  | Bug_index
+  | Bug_overflow
+
+let all_safe_kinds =
+  [ Counter; Filter; Rate_limiter; Relay; Interpolation; Integrator; Lag;
+    Hw_array; Mode_switch; Channel; Decay; Piecewise ]
+
+let all_bug_kinds = [ Bug_division; Bug_index; Bug_overflow ]
+
+let instantiate (k : kind) (r : Rng.t) (i : int) : instance =
+  match k with
+  | Counter -> counter r i
+  | Filter -> filter r i
+  | Rate_limiter -> rate_limiter r i
+  | Relay -> relay r i
+  | Interpolation -> interpolation r i
+  | Integrator -> integrator r i
+  | Lag -> lag r i
+  | Hw_array -> hw_array r i
+  | Mode_switch -> mode_switch r i
+  | Channel -> channel r i
+  | Decay -> decay r i
+  | Piecewise -> piecewise r i
+  | Relay_chain -> relay_chain r i
+  | Bug_division -> bug_division r i
+  | Bug_index -> bug_index r i
+  | Bug_overflow -> bug_overflow r i
+
+let kind_name = function
+  | Counter -> "counter"
+  | Filter -> "filter"
+  | Rate_limiter -> "rate-limiter"
+  | Relay -> "relay"
+  | Interpolation -> "interpolation"
+  | Integrator -> "integrator"
+  | Lag -> "lag"
+  | Hw_array -> "hw-array"
+  | Mode_switch -> "mode-switch"
+  | Channel -> "channel"
+  | Decay -> "decay"
+  | Piecewise -> "piecewise"
+  | Relay_chain -> "relay-chain"
+  | Bug_division -> "bug-division"
+  | Bug_index -> "bug-index"
+  | Bug_overflow -> "bug-overflow"

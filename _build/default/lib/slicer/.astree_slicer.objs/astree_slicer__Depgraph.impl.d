@@ -1,0 +1,1 @@
+lib/slicer/depgraph.ml: Array Astree_frontend Hashtbl List Option VarSet

@@ -1,0 +1,1 @@
+lib/slicer/depgraph.mli: Astree_frontend Hashtbl

@@ -1,0 +1,1 @@
+lib/slicer/slicer.ml: Array Astree_frontend Depgraph Fmt Hashtbl List Queue VarSet

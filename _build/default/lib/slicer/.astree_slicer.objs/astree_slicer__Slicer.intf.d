@@ -1,0 +1,1 @@
+lib/slicer/slicer.mli: Astree_frontend Depgraph Format

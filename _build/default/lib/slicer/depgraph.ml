@@ -1,0 +1,114 @@
+(** Data and control dependences over the typed IR, the substrate of the
+    backward slicer used in the alarm-inspection process (Sect. 3.3). *)
+
+module F = Astree_frontend
+open F.Tast
+
+(** A slicing node: one statement, identified by its position. *)
+type node = {
+  n_id : int;
+  n_stmt : stmt;
+  n_fun : string;
+  n_defs : VarSet.t;   (** variables possibly written *)
+  n_uses : VarSet.t;   (** variables possibly read *)
+  n_ctrl : int list;   (** ids of the statements controlling this one *)
+}
+
+type t = {
+  nodes : node array;
+  by_loc : (F.Loc.t, int) Hashtbl.t;
+  mutable def_sites : (int, int list) Hashtbl.t;  (** var id -> node ids *)
+}
+
+let stmt_defs (s : stmt) : VarSet.t =
+  match s.sdesc with
+  | Sassign (lv, _) -> VarSet.singleton (lval_root lv)
+  | Slocal (v, _) -> VarSet.singleton v
+  | Scall (dst, _, args) ->
+      let base =
+        match dst with Some v -> VarSet.singleton v | None -> VarSet.empty
+      in
+      List.fold_left
+        (fun acc -> function
+          | Aref lv -> VarSet.add (lval_root lv) acc
+          | Aval _ -> acc)
+        base args
+  | _ -> VarSet.empty
+
+let stmt_uses (s : stmt) : VarSet.t =
+  match s.sdesc with
+  | Sassign (lv, e) ->
+      (* subscript expressions of the written lvalue are uses too *)
+      let rec lv_uses (lv : lval) acc =
+        match lv.ldesc with
+        | Lvar _ | Lderef _ -> acc
+        | Lindex (b, i) -> lv_uses b (expr_vars i acc)
+        | Lfield (b, _) -> lv_uses b acc
+      in
+      lv_uses lv (expr_vars e VarSet.empty)
+  | Slocal (_, Some e) -> expr_vars e VarSet.empty
+  | Scall (_, _, args) ->
+      List.fold_left
+        (fun acc -> function
+          | Aval e -> expr_vars e acc
+          | Aref lv -> lval_vars lv acc)
+        VarSet.empty args
+  | Sif (c, _, _) | Swhile (_, c, _) -> expr_vars c VarSet.empty
+  | Sreturn (Some e) | Sassert e | Sassume e -> expr_vars e VarSet.empty
+  | _ -> VarSet.empty
+
+(** Build the dependence graph of a program (intraprocedural control
+    dependences; data dependences are variable-level and flow-insensitive,
+    a sound over-approximation that keeps slices conservative). *)
+let build (p : program) : t =
+  let nodes = ref [] in
+  let next = ref 0 in
+  let by_loc = Hashtbl.create 256 in
+  let add_node fn ctrl (s : stmt) : int =
+    let id = !next in
+    next := id + 1;
+    let n =
+      {
+        n_id = id;
+        n_stmt = s;
+        n_fun = fn;
+        n_defs = stmt_defs s;
+        n_uses = stmt_uses s;
+        n_ctrl = ctrl;
+      }
+    in
+    nodes := n :: !nodes;
+    if not (Hashtbl.mem by_loc s.sloc) then Hashtbl.replace by_loc s.sloc id;
+    id
+  in
+  let rec do_block fn ctrl (b : block) : unit =
+    List.iter
+      (fun (s : stmt) ->
+        let id = add_node fn ctrl s in
+        match s.sdesc with
+        | Sif (_, a, b') ->
+            do_block fn (id :: ctrl) a;
+            do_block fn (id :: ctrl) b'
+        | Swhile (_, _, body) -> do_block fn (id :: ctrl) body
+        | _ -> ())
+      b
+  in
+  List.iter (fun (fn, fd) -> do_block fn [] fd.fd_body) p.p_funs;
+  let nodes = Array.of_list (List.rev !nodes) in
+  let def_sites = Hashtbl.create 256 in
+  Array.iter
+    (fun n ->
+      VarSet.iter
+        (fun v ->
+          let cur = Option.value (Hashtbl.find_opt def_sites v.v_id) ~default:[] in
+          Hashtbl.replace def_sites v.v_id (n.n_id :: cur))
+        n.n_defs)
+    nodes;
+  { nodes; by_loc; def_sites }
+
+let node_at (g : t) (loc : F.Loc.t) : int option = Hashtbl.find_opt g.by_loc loc
+
+let defs_of (g : t) (v : var) : int list =
+  Option.value (Hashtbl.find_opt g.def_sites v.v_id) ~default:[]
+
+let size (g : t) = Array.length g.nodes

@@ -1,0 +1,29 @@
+(** Data and control dependences over the typed IR, the substrate of the
+    backward slicer (Sect. 3.3). *)
+
+type node = {
+  n_id : int;
+  n_stmt : Astree_frontend.Tast.stmt;
+  n_fun : string;
+  n_defs : Astree_frontend.Tast.VarSet.t;  (** variables possibly written *)
+  n_uses : Astree_frontend.Tast.VarSet.t;  (** variables possibly read *)
+  n_ctrl : int list;  (** ids of the statements controlling this one *)
+}
+
+type t = {
+  nodes : node array;
+  by_loc : (Astree_frontend.Loc.t, int) Hashtbl.t;
+  mutable def_sites : (int, int list) Hashtbl.t;
+}
+
+val stmt_defs : Astree_frontend.Tast.stmt -> Astree_frontend.Tast.VarSet.t
+val stmt_uses : Astree_frontend.Tast.stmt -> Astree_frontend.Tast.VarSet.t
+
+(** Build the dependence graph (intraprocedural control dependences,
+    variable-level flow-insensitive data dependences — a sound
+    over-approximation that keeps slices conservative). *)
+val build : Astree_frontend.Tast.program -> t
+
+val node_at : t -> Astree_frontend.Loc.t -> int option
+val defs_of : t -> Astree_frontend.Tast.var -> int list
+val size : t -> int

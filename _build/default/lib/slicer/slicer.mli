@@ -1,0 +1,32 @@
+(** Backward program slicing from an alarm point (Sect. 3.3, after
+    Weiser): the slice contains the computations that led to the alarm.
+    {!abstract_slice} is the paper's sketched refinement, restricting
+    the closure to the variables the invariant says nothing useful
+    about. *)
+
+type criterion = {
+  c_loc : Astree_frontend.Loc.t;  (** the alarm point *)
+  c_vars : Astree_frontend.Tast.var list option;
+      (** restrict to these variables; [None] = all uses *)
+}
+
+type slice = {
+  s_nodes : Depgraph.node list;  (** statements, in program order *)
+  s_vars : Astree_frontend.Tast.VarSet.t;  (** variables tracked *)
+}
+
+val slice_size : slice -> int
+
+(** Classical data+control backward slice. *)
+val slice : Depgraph.t -> criterion -> slice
+
+(** Abstract slice: follow only the [interesting] variables ("integer or
+    floating point variables that may contain large values or boolean
+    variables that may take any value according to the invariant"). *)
+val abstract_slice :
+  Depgraph.t ->
+  interesting:(Astree_frontend.Tast.var -> bool) ->
+  criterion ->
+  slice
+
+val pp_slice : Format.formatter -> slice -> unit

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Astree_core Astree_domains Float Hashtbl List

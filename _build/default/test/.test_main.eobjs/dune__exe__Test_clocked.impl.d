@@ -1,0 +1,1 @@
+test/test_clocked.ml: Alcotest Astree_domains

@@ -1,0 +1,1 @@
+test/test_dtree.ml: Alcotest Astree_domains Astree_frontend Option

@@ -1,0 +1,1 @@
+test/test_ellipsoid.ml: Alcotest Astree_domains Astree_frontend Float QCheck QCheck_alcotest

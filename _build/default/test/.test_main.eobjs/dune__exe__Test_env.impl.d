@@ -1,0 +1,1 @@
+test/test_env.ml: Alcotest Astree_core Astree_domains Fmt List QCheck QCheck_alcotest String

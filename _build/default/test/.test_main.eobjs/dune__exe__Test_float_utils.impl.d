@@ -1,0 +1,1 @@
+test/test_float_utils.ml: Alcotest Astree_domains Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Astree_core Astree_frontend Float Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Astree_core Astree_frontend Astree_gen List Printexc

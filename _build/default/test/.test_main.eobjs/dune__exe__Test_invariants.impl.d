@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Astree_core Astree_gen Filename Lazy String Sys Unix

@@ -1,0 +1,1 @@
+test/test_iterator.ml: Alcotest Astree_core Astree_frontend

@@ -1,0 +1,1 @@
+test/test_itv.ml: Alcotest Astree_domains Float Fmt List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lattice.ml: Array Astree_domains Astree_frontend Float Fmt List QCheck QCheck_alcotest

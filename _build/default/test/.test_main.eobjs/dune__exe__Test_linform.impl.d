@@ -1,0 +1,1 @@
+test/test_linform.ml: Alcotest Astree_domains Astree_frontend Int32 QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_octagon.ml: Alcotest Astree_domains Astree_frontend Float QCheck QCheck_alcotest

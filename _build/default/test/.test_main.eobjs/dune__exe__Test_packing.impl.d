@@ -1,0 +1,1 @@
+test/test_packing.ml: Alcotest Array Astree_core Astree_domains Astree_frontend List

@@ -1,0 +1,1 @@
+test/test_ptmap.ml: Alcotest Astree_core Fmt Int List Map Option QCheck QCheck_alcotest String

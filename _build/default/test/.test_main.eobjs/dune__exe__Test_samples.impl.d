@@ -1,0 +1,1 @@
+test/test_samples.ml: Alcotest Astree_core Astree_frontend Filename Float List String Sys

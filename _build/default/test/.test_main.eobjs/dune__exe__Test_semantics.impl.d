@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Astree_core Astree_frontend

@@ -1,0 +1,1 @@
+test/test_slicer.ml: Alcotest Array Astree_core Astree_frontend Astree_slicer List

@@ -1,0 +1,1 @@
+test/test_soundness.ml: Astree_core Astree_domains Astree_frontend Astree_gen Float Hashtbl List QCheck QCheck_alcotest

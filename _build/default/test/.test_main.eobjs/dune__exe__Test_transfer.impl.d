@@ -1,0 +1,1 @@
+test/test_transfer.ml: Alcotest Astree_core Astree_domains

@@ -1,0 +1,91 @@
+(* Clocked domain tests (Sect. 6.2.1). *)
+
+module D = Astree_domains
+module C = D.Clocked
+module I = D.Itv
+
+let clock0 = I.int_const 0
+let clock5 = I.int_range 0 5
+
+let test_of_itv_reduce () =
+  let c = C.of_itv (I.int_range 0 10) clock0 in
+  Alcotest.(check bool) "v" true (I.equal (C.to_itv c) (I.int_range 0 10));
+  (* at clock 0, v- = v and v+ = v *)
+  Alcotest.(check bool) "vminus" true (I.equal c.C.vminus (I.int_range 0 10))
+
+let test_tick_shifts () =
+  let c = C.of_itv (I.int_range 0 10) clock0 in
+  let c = C.tick c in
+  Alcotest.(check bool) "vminus shifted down" true
+    (I.equal c.C.vminus (I.int_range (-1) 9));
+  Alcotest.(check bool) "vplus shifted up" true
+    (I.equal c.C.vplus (I.int_range 1 11))
+
+let test_counter_bounded_by_clock () =
+  (* the paper's counter: starts at 0, incremented by at most 1 per tick;
+     v - clock stays <= 0 so the reduction bounds it by the clock *)
+  let c = C.of_itv (I.int_const 0) clock0 in
+  (* one cycle: increment by [0,1] then tick *)
+  let step c = C.tick (C.add_const (I.int_range 0 1) c) in
+  let c = step (step (step c)) in
+  (* after 3 ticks, clock = 3 *)
+  let reduced = C.reduce (I.int_const 3) c in
+  match C.to_itv reduced with
+  | I.Int (lo, hi) ->
+      Alcotest.(check bool) "bounded by clock" true (lo >= 0 && hi <= 3)
+  | i -> Alcotest.failf "unexpected %a" I.pp i
+
+let test_reduce_with_unknown_value () =
+  (* even if v was widened to top, v - clock <= 0 recovers the bound *)
+  let c =
+    { C.v = I.top_int; vminus = I.int_range (-1000) 0; vplus = I.Bot }
+  in
+  let reduced = C.reduce (I.int_range 0 100) c in
+  match C.to_itv reduced with
+  | I.Int (_, hi) -> Alcotest.(check bool) "recovered" true (hi <= 100)
+  | i -> Alcotest.failf "unexpected %a" I.pp i
+
+let test_join_meet_bot_components () =
+  (* Bot clock components mean "no information": the join of a tracked
+     and an untracked value must be untracked *)
+  let tracked = C.of_itv (I.int_range 0 5) clock0 in
+  let untracked = { C.v = I.int_range 0 5; vminus = I.Bot; vplus = I.Bot } in
+  let j = C.join tracked untracked in
+  Alcotest.(check bool) "join unknown" true (I.is_bot j.C.vminus);
+  (* meet keeps the tracked side *)
+  let m = C.meet tracked untracked in
+  Alcotest.(check bool) "meet tracked" false (I.is_bot m.C.vminus)
+
+let test_subset_with_bot_components () =
+  let tracked = C.of_itv (I.int_range 0 5) clock0 in
+  let untracked = { C.v = I.int_range 0 5; vminus = I.Bot; vplus = I.Bot } in
+  Alcotest.(check bool) "tracked below untracked" true
+    (C.subset tracked untracked);
+  Alcotest.(check bool) "untracked not below tracked" false
+    (C.subset untracked tracked)
+
+let test_float_cells () =
+  let c = C.of_itv (I.float_range 0.0 1.0) clock5 in
+  let c = C.tick c in
+  Alcotest.(check bool) "no kind crash" true (not (C.is_bot c));
+  match c.C.vminus with
+  | I.Float _ -> ()
+  | i -> Alcotest.failf "vminus kind: %a" I.pp i
+
+let test_widen_clocked () =
+  let a = C.of_itv (I.int_range 0 5) clock0 in
+  let b = C.of_itv (I.int_range 0 7) clock0 in
+  let w = C.widen ~thresholds:D.Thresholds.default a b in
+  Alcotest.(check bool) "upper bound" true (C.subset a w && C.subset b w)
+
+let suite =
+  [
+    Alcotest.test_case "of_itv" `Quick test_of_itv_reduce;
+    Alcotest.test_case "tick shifts components" `Quick test_tick_shifts;
+    Alcotest.test_case "counter bounded by clock" `Quick test_counter_bounded_by_clock;
+    Alcotest.test_case "reduction recovers widened value" `Quick test_reduce_with_unknown_value;
+    Alcotest.test_case "bot components are top" `Quick test_join_meet_bot_components;
+    Alcotest.test_case "subset with bot components" `Quick test_subset_with_bot_components;
+    Alcotest.test_case "float cells" `Quick test_float_cells;
+    Alcotest.test_case "widen" `Quick test_widen_clocked;
+  ]

@@ -1,0 +1,160 @@
+(* Decision-tree domain tests (Sect. 6.2.4). *)
+
+module F = Astree_frontend
+module D = Astree_domains
+module DT = D.Decision_tree
+module I = D.Itv
+module VarMap = F.Tast.VarMap
+
+let mkvar =
+  let next = ref 3000 in
+  fun name ty ->
+    incr next;
+    {
+      F.Tast.v_id = !next;
+      v_name = name;
+      v_orig = name;
+      v_ty = ty;
+      v_kind = F.Tast.Kglobal;
+      v_volatile = false;
+      v_loc = F.Loc.dummy;
+    }
+
+let mkbool name = mkvar name F.Ctypes.t_bool
+let mknum name = mkvar name F.Ctypes.t_int
+
+let setup () =
+  let b1 = mkbool "b1" and b2 = mkbool "b2" and x = mknum "x" in
+  (b1, b2, x, DT.top [| b1; b2 |] [| x |])
+
+let test_top_bot () =
+  let _, _, _, d = setup () in
+  Alcotest.(check bool) "top" false (DT.is_bot d);
+  let b1 = mkbool "b" and x = mknum "x" in
+  Alcotest.(check bool) "bot" true (DT.is_bot (DT.bottom [| b1 |] [| x |]))
+
+let test_guard_bool () =
+  let b1, _, _, d = setup () in
+  let d_true = DT.guard_bool d b1 true in
+  let can_f, can_t = DT.get_bool d_true b1 in
+  Alcotest.(check bool) "forced true" true (can_t && not can_f);
+  let d_false = DT.guard_bool d b1 false in
+  let can_f, can_t = DT.get_bool d_false b1 in
+  Alcotest.(check bool) "forced false" true (can_f && not can_t);
+  (* guarding both ways is empty *)
+  Alcotest.(check bool) "contradiction" true
+    (DT.is_bot (DT.guard_bool d_true b1 false))
+
+let test_assign_bool_const () =
+  let b1, _, _, d = setup () in
+  let d = DT.assign_bool_const d b1 true in
+  let can_f, can_t = DT.get_bool d b1 in
+  Alcotest.(check bool) "assigned" true (can_t && not can_f);
+  (* re-assignment forgets the previous value *)
+  let d = DT.assign_bool_const d b1 false in
+  let can_f, can_t = DT.get_bool d b1 in
+  Alcotest.(check bool) "reassigned" true (can_f && not can_t)
+
+let test_assign_num_per_leaf () =
+  let b1, _, x, d = setup () in
+  (* under b1: x := 1; under !b1: x := 5 — via split on b1 then assigns *)
+  let d_t = DT.assign_num (DT.guard_bool d b1 true) x (fun _ _ -> I.int_const 1) in
+  let d_f = DT.assign_num (DT.guard_bool d b1 false) x (fun _ _ -> I.int_const 5) in
+  let j = DT.join d_t d_f in
+  (match DT.get_num j x with
+  | Some i -> Alcotest.(check bool) "overall" true (I.equal i (I.int_range 1 5))
+  | None -> Alcotest.fail "no num");
+  (* restricted to b1 = true, x is exactly 1: the relation survived the
+     join — this is the whole point of the domain *)
+  let restricted = DT.guard_bool j b1 true in
+  match DT.get_num restricted x with
+  | Some i -> Alcotest.(check bool) "related" true (I.equal i (I.int_const 1))
+  | None -> Alcotest.fail "no num after guard"
+
+let test_split_assignment () =
+  (* b := (x == 0) with x in [0, 10]: the b=false branch refines x >= 1 *)
+  let b1, _, x, d = setup () in
+  let d = DT.assign_num d x (fun _ _ -> I.int_range 0 10) in
+  let d =
+    DT.assign_bool_split d b1 (fun _ leaf ->
+        match leaf with
+        | None -> (None, None)
+        | Some m ->
+            let xi = Option.value (VarMap.find_opt x m) ~default:(I.int_range 0 10) in
+            let t = I.meet xi (I.int_const 0) in
+            let f = I.refine_ne xi (I.int_const 0) in
+            ( (if I.is_bot t then None else Some (VarMap.add x t m)),
+              if I.is_bot f then None else Some (VarMap.add x f m) ))
+  in
+  let under_false = DT.guard_bool d b1 false in
+  (match DT.get_num under_false x with
+  | Some i -> Alcotest.(check bool) "x >= 1" true (I.equal i (I.int_range 1 10))
+  | None -> Alcotest.fail "no refinement");
+  let under_true = DT.guard_bool d b1 true in
+  match DT.get_num under_true x with
+  | Some i -> Alcotest.(check bool) "x = 0" true (I.equal i (I.int_const 0))
+  | None -> Alcotest.fail "no refinement"
+
+let test_join_shares_equal_branches () =
+  let b1, _, x, d = setup () in
+  (* a tree that branches but has equal leaves collapses *)
+  let d1 = DT.assign_num (DT.guard_bool d b1 true) x (fun _ _ -> I.int_const 3) in
+  let d2 = DT.assign_num (DT.guard_bool d b1 false) x (fun _ _ -> I.int_const 3) in
+  let j = DT.join d1 d2 in
+  Alcotest.(check int) "collapsed to a leaf" 1 (DT.size j)
+
+let test_forget_bool () =
+  let b1, _, x, d = setup () in
+  let d_t = DT.assign_num (DT.guard_bool d b1 true) x (fun _ _ -> I.int_const 1) in
+  let d_f = DT.assign_num (DT.guard_bool d b1 false) x (fun _ _ -> I.int_const 5) in
+  let j = DT.join d_t d_f in
+  let f = DT.forget_bool j b1 in
+  let can_f, can_t = DT.get_bool f b1 in
+  Alcotest.(check bool) "both possible" true (can_f && can_t);
+  match DT.get_num f x with
+  | Some i -> Alcotest.(check bool) "hull" true (I.equal i (I.int_range 1 5))
+  | None -> Alcotest.fail "lost x"
+
+let test_forget_num () =
+  let b1, _, x, d = setup () in
+  let d = DT.assign_num (DT.guard_bool d b1 true) x (fun _ _ -> I.int_const 1) in
+  let f = DT.forget_num d x in
+  Alcotest.(check bool) "forgotten" true (DT.get_num f x = None)
+
+let test_widen_narrow () =
+  let _, _, x, d = setup () in
+  let d1 = DT.assign_num d x (fun _ _ -> I.int_range 0 10) in
+  let d2 = DT.assign_num d x (fun _ _ -> I.int_range 0 15) in
+  let w = DT.widen ~thresholds:(D.Thresholds.of_list [ 100.0 ]) d1 d2 in
+  (match DT.get_num w x with
+  | Some (I.Int (0, 100)) -> ()
+  | Some i -> Alcotest.failf "unexpected %a" I.pp i
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check bool) "subset" true (DT.subset d1 w && DT.subset d2 w)
+
+let test_two_bools_paths () =
+  let b1, b2, x, d = setup () in
+  (* x = 1 iff b1 && b2 *)
+  let d11 = DT.guard_bool (DT.guard_bool d b1 true) b2 true in
+  let d11 = DT.assign_num d11 x (fun _ _ -> I.int_const 1) in
+  let dother = DT.join (DT.guard_bool d b1 false) (DT.guard_bool d b2 false) in
+  let dother = DT.assign_num dother x (fun _ _ -> I.int_const 0) in
+  let j = DT.join d11 dother in
+  let sel = DT.guard_bool (DT.guard_bool j b1 true) b2 true in
+  match DT.get_num sel x with
+  | Some i -> Alcotest.(check bool) "path value" true (I.equal i (I.int_const 1))
+  | None -> Alcotest.fail "missing"
+
+let suite =
+  [
+    Alcotest.test_case "top/bottom" `Quick test_top_bot;
+    Alcotest.test_case "boolean guard" `Quick test_guard_bool;
+    Alcotest.test_case "boolean constant assignment" `Quick test_assign_bool_const;
+    Alcotest.test_case "per-leaf numeric assignment" `Quick test_assign_num_per_leaf;
+    Alcotest.test_case "splitting boolean assignment" `Quick test_split_assignment;
+    Alcotest.test_case "sharing of equal branches" `Quick test_join_shares_equal_branches;
+    Alcotest.test_case "forget boolean" `Quick test_forget_bool;
+    Alcotest.test_case "forget numeric" `Quick test_forget_num;
+    Alcotest.test_case "widen/narrow" `Quick test_widen_narrow;
+    Alcotest.test_case "two-boolean paths" `Quick test_two_bools_paths;
+  ]

@@ -1,0 +1,111 @@
+(* Environment representation tests (Sect. 6.1.2): model-based agreement
+   between the sharable functional maps and the naive arrays, plus
+   lattice properties at the Avalue level. *)
+
+module C = Astree_core
+module D = Astree_domains
+
+let clock0 = D.Itv.int_const 0
+
+let av_of_range lo hi =
+  C.Avalue.of_itv ~use_clocked:false ~clock:clock0 (D.Itv.int_range lo hi)
+
+let gen_env_ops : (int * (int * int)) list QCheck.Gen.t =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (pair (int_range 0 100)
+         (pair (int_range (-50) 50) (int_range 0 50))))
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map (fun (k, (lo, w)) -> Fmt.str "%d->[%d,%d]" k lo (lo + w)) l))
+    gen_env_ops
+
+let build naive ops =
+  List.fold_left
+    (fun e (k, (lo, w)) -> C.Env.set e k (av_of_range lo (lo + w)))
+    (C.Env.empty ~naive ~ncells:128)
+    ops
+
+let same_bindings a b =
+  let collect e = C.Env.fold (fun k v acc -> (k, v) :: acc) e [] in
+  let la = List.sort compare (List.map (fun (k, v) -> (k, C.Avalue.itv v)) (collect a)) in
+  let lb = List.sort compare (List.map (fun (k, v) -> (k, C.Avalue.itv v)) (collect b)) in
+  la = lb
+
+let prop_representations_agree op_name op =
+  QCheck.Test.make ~name:(op_name ^ ": shared and naive agree")
+    (QCheck.pair arb_ops arb_ops)
+    (fun (o1, o2) ->
+      let s = op (build false o1) (build false o2) in
+      let n = op (build true o1) (build true o2) in
+      same_bindings s n)
+
+let prop_join_agree = prop_representations_agree "join" C.Env.join
+let prop_meet_agree = prop_representations_agree "meet" C.Env.meet
+
+let prop_widen_agree =
+  prop_representations_agree "widen"
+    (C.Env.widen ~thresholds:D.Thresholds.default)
+
+let prop_subset_agree =
+  QCheck.Test.make ~name:"subset: shared and naive agree"
+    (QCheck.pair arb_ops arb_ops)
+    (fun (o1, o2) ->
+      C.Env.subset (build false o1) (build false o2)
+      = C.Env.subset (build true o1) (build true o2))
+
+let prop_join_upper_bound =
+  (* sides must range over the same cells: one-sided bindings model
+     out-of-scope locals and are kept as-is by the join (see Env) *)
+  QCheck.Test.make ~name:"join is an upper bound (same key set)"
+    (QCheck.pair arb_ops arb_ops)
+    (fun (o1, o2) ->
+      let keys = List.map fst (o1 @ o2) in
+      let pad ops =
+        ops @ List.map (fun k -> (k, (0, 0))) keys
+        (* later bindings win in [build], so pad FIRST *)
+      in
+      let a = build false (List.rev (pad o1))
+      and b = build false (List.rev (pad o2)) in
+      let j = C.Env.join a b in
+      C.Env.subset a j && C.Env.subset b j)
+
+let prop_join_idempotent =
+  QCheck.Test.make ~name:"join with self is physically cheap and equal"
+    arb_ops
+    (fun ops ->
+      let a = build false ops in
+      C.Env.equal (C.Env.join a a) a)
+
+let test_map_all_tick () =
+  let e = C.Env.set (C.Env.empty ~naive:false ~ncells:4) 0
+      (C.Avalue.of_itv ~use_clocked:true ~clock:clock0 (D.Itv.int_range 0 5))
+  in
+  let e' = C.Env.map_all C.Avalue.tick e in
+  match C.Env.find e' 0 with
+  | Some av ->
+      Alcotest.(check bool) "vminus shifted" true
+        (D.Itv.equal av.D.Clocked.vminus (D.Itv.int_range (-1) 4))
+  | None -> Alcotest.fail "cell lost"
+
+let test_set_find_remove () =
+  let e = C.Env.empty ~naive:false ~ncells:4 in
+  let e = C.Env.set e 42 (av_of_range 1 2) in
+  Alcotest.(check bool) "found" true (C.Env.find e 42 <> None);
+  Alcotest.(check int) "card" 1 (C.Env.cardinal e);
+  let e = C.Env.remove e 42 in
+  Alcotest.(check bool) "removed" true (C.Env.find e 42 = None)
+
+let suite =
+  [
+    Alcotest.test_case "map_all / tick" `Quick test_map_all_tick;
+    Alcotest.test_case "set/find/remove" `Quick test_set_find_remove;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_join_agree; prop_meet_agree; prop_widen_agree;
+        prop_subset_agree; prop_join_upper_bound; prop_join_idempotent;
+      ]

@@ -1,0 +1,103 @@
+(* Directed-rounding soundness (Sect. 6.2.1: "always perform rounding in
+   the right direction"). *)
+
+module FU = Astree_domains.Float_utils
+
+let test_fsucc_fpred () =
+  Alcotest.(check bool) "succ above" true (FU.fsucc 1.0 > 1.0);
+  Alcotest.(check bool) "pred below" true (FU.fpred 1.0 < 1.0);
+  Alcotest.(check bool) "succ of 0" true (FU.fsucc 0.0 > 0.0);
+  Alcotest.(check bool) "succ -1" true (FU.fsucc (-1.0) > -1.0);
+  Alcotest.(check bool) "inf fixpoint" true (FU.fsucc Float.infinity = Float.infinity);
+  Alcotest.(check bool) "adjacent" true (FU.fpred (FU.fsucc 1.0) = 1.0)
+
+let test_exactness () =
+  (* compensated rounding keeps exact operations exact *)
+  Alcotest.(check (float 0.)) "1+2" 3.0 (FU.add_up 1.0 2.0);
+  Alcotest.(check (float 0.)) "1+2 down" 3.0 (FU.add_down 1.0 2.0);
+  Alcotest.(check (float 0.)) "x+0" 5.5 (FU.add_up 5.5 0.0);
+  Alcotest.(check (float 0.)) "2*3" 6.0 (FU.mul_up 2.0 3.0);
+  Alcotest.(check (float 0.)) "1/4" 0.25 (FU.div_up 1.0 4.0);
+  Alcotest.(check (float 0.)) "sqrt 4" 2.0 (FU.sqrt_up 4.0)
+
+let test_directedness () =
+  (* 1.0 + 1e-17 is inexact (absorbed): bounds must strictly bracket *)
+  let lo = FU.add_down 1.0 1e-17 and hi = FU.add_up 1.0 1e-17 in
+  Alcotest.(check bool) "bracket" true (lo < hi);
+  Alcotest.(check bool) "contains exact" true (lo <= 1.0 && hi >= 1.0 && hi <= 1.0 +. 1e-15);
+  (* 0.1 * 0.1 is inexact *)
+  let lo = FU.mul_down 0.1 0.1 and hi = FU.mul_up 0.1 0.1 in
+  Alcotest.(check bool) "mul bracket" true (lo <= 0.1 *. 0.1 && 0.1 *. 0.1 <= hi && lo < hi)
+
+let test_overflow_edges () =
+  Alcotest.(check bool) "overflow up" true
+    (FU.add_up max_float max_float = Float.infinity);
+  (* downward rounding of an overflowed positive result may stop at
+     max_float *)
+  Alcotest.(check bool) "overflow down finite" true
+    (FU.add_down max_float max_float <= Float.infinity);
+  Alcotest.(check bool) "neg overflow down" true
+    (FU.add_down (-.max_float) (-.max_float) = Float.neg_infinity)
+
+let test_zero_aware_mul () =
+  Alcotest.(check (float 0.)) "0 * inf" 0.0 (FU.mul_up 0.0 Float.infinity);
+  Alcotest.(check (float 0.)) "inf * 0" 0.0 (FU.mul_down Float.infinity 0.0)
+
+let test_single_bounds () =
+  let x = 0.1 in
+  let lo, hi = FU.single_bounds x in
+  Alcotest.(check bool) "bracket" true (lo <= x && x <= hi);
+  Alcotest.(check bool) "are singles" true
+    (FU.to_single lo = lo && FU.to_single hi = hi)
+
+let test_ulp () =
+  Alcotest.(check (float 0.)) "ulp 1.0" epsilon_float (FU.ulp 1.0)
+
+let prop_add_bracket =
+  QCheck.Test.make ~name:"add_down <= exact <= add_up"
+    QCheck.(pair (float_range (-1e10) 1e10) (float_range (-1e10) 1e10))
+    (fun (a, b) ->
+      let lo = FU.add_down a b and hi = FU.add_up a b in
+      (* the exact sum lies within one ulp of the rounded sum *)
+      lo <= a +. b && a +. b <= hi)
+
+let prop_mul_bracket =
+  QCheck.Test.make ~name:"mul_down <= round(a*b) <= mul_up"
+    QCheck.(pair (float_range (-1e5) 1e5) (float_range (-1e5) 1e5))
+    (fun (a, b) ->
+      FU.mul_down a b <= a *. b && a *. b <= FU.mul_up a b)
+
+let prop_div_bracket =
+  QCheck.Test.make ~name:"div_down <= round(a/b) <= div_up"
+    QCheck.(pair (float_range (-1e5) 1e5) (float_range 0.001 1e5))
+    (fun (a, b) -> FU.div_down a b <= a /. b && a /. b <= FU.div_up a b)
+
+let prop_sqrt_bracket =
+  QCheck.Test.make ~name:"sqrt bracket" (QCheck.float_range 0.0 1e10)
+    (fun a -> FU.sqrt_down a <= sqrt a && sqrt a <= FU.sqrt_up a)
+
+let prop_sat_add =
+  QCheck.Test.make ~name:"saturating add over/underflow safe"
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      let a = if a = min_int then min_int + 1 else a in
+      let b = if b = min_int then min_int + 1 else b in
+      let r = FU.Sat.add a b in
+      (* never wraps: sign is consistent *)
+      if a > 0 && b > 0 then r > 0 else if a < 0 && b < 0 then r < 0 else true)
+
+let suite =
+  [
+    Alcotest.test_case "fsucc/fpred" `Quick test_fsucc_fpred;
+    Alcotest.test_case "exact ops stay exact" `Quick test_exactness;
+    Alcotest.test_case "directed rounding" `Quick test_directedness;
+    Alcotest.test_case "overflow edges" `Quick test_overflow_edges;
+    Alcotest.test_case "zero-aware mul" `Quick test_zero_aware_mul;
+    Alcotest.test_case "single bounds" `Quick test_single_bounds;
+    Alcotest.test_case "ulp" `Quick test_ulp;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_add_bracket; prop_mul_bracket; prop_div_bracket;
+        prop_sqrt_bracket; prop_sat_add;
+      ]

@@ -1,0 +1,112 @@
+(* Program-family generator tests. *)
+
+module G = Astree_gen
+module F = Astree_frontend
+module C = Astree_core
+
+let test_deterministic () =
+  let g1 = G.Generator.generate G.Generator.default in
+  let g2 = G.Generator.generate G.Generator.default in
+  Alcotest.(check string) "same source" g1.G.Generator.source g2.G.Generator.source
+
+let test_seed_changes_output () =
+  let g1 = G.Generator.generate { G.Generator.default with seed = 1 } in
+  let g2 = G.Generator.generate { G.Generator.default with seed = 2 } in
+  Alcotest.(check bool) "different" true
+    (g1.G.Generator.source <> g2.G.Generator.source)
+
+let test_size_scaling () =
+  let small = G.Generator.generate { G.Generator.default with target_lines = 300 } in
+  let large = G.Generator.generate { G.Generator.default with target_lines = 3000 } in
+  Alcotest.(check bool) "roughly on target" true
+    (abs (small.G.Generator.n_lines - 300) < 150);
+  Alcotest.(check bool) "scales" true
+    (large.G.Generator.n_lines > 5 * small.G.Generator.n_lines)
+
+let test_every_shape_compiles_alone () =
+  List.iter
+    (fun kind ->
+      let g =
+        G.Generator.generate
+          { G.Generator.default with mix = [ kind ]; target_lines = 60 }
+      in
+      match F.Parser.parse_string ~file:"g" g.G.Generator.source with
+      | ast ->
+          let p = F.Typecheck.elab_program ast in
+          Alcotest.(check bool)
+            (G.Shapes.kind_name kind) true
+            (List.length p.F.Tast.p_funs >= 1)
+      | exception e ->
+          Alcotest.failf "shape %s does not compile: %s"
+            (G.Shapes.kind_name kind) (Printexc.to_string e))
+    (G.Shapes.all_safe_kinds @ G.Shapes.all_bug_kinds)
+
+let test_every_safe_shape_verifies_alone () =
+  List.iter
+    (fun kind ->
+      let g =
+        G.Generator.generate
+          { G.Generator.default with mix = [ kind ]; target_lines = 80 }
+      in
+      let cfg =
+        {
+          C.Config.default with
+          C.Config.partitioned_functions = g.G.Generator.partition_fns;
+        }
+      in
+      let r = C.Analysis.analyze_string ~cfg g.G.Generator.source in
+      Alcotest.(check int)
+        (G.Shapes.kind_name kind ^ " has no false alarms")
+        0 (C.Analysis.n_alarms r))
+    G.Shapes.all_safe_kinds
+
+let test_bug_shapes_alarm () =
+  List.iter
+    (fun kind ->
+      let g =
+        G.Generator.generate
+          { G.Generator.default with mix = [ kind ]; target_lines = 40; bug_ratio = 1.0 }
+      in
+      let r = C.Analysis.analyze_string g.G.Generator.source in
+      Alcotest.(check bool)
+        (G.Shapes.kind_name kind ^ " alarms")
+        true
+        (C.Analysis.n_alarms r > 0))
+    G.Shapes.all_bug_kinds
+
+let test_reference_runs_concretely () =
+  let g = G.Generator.reference ~target_lines:300 () in
+  let ast = F.Parser.parse_string ~file:"ref" g.G.Generator.source in
+  let p = F.Typecheck.elab_program ast in
+  match F.Interp.run ~max_ticks:100 p with
+  | F.Interp.Finished -> ()
+  | F.Interp.Error (k, l) ->
+      Alcotest.failf "reference program fails concretely: %a at %a"
+        F.Interp.pp_error_kind k F.Loc.pp l
+
+let test_globals_linear_in_size () =
+  (* Sect. 4: "the number of global and static variables is roughly
+     linear in the length of the code" *)
+  let count lines =
+    let g = G.Generator.generate { G.Generator.default with target_lines = lines } in
+    let ast = F.Parser.parse_string ~file:"g" g.G.Generator.source in
+    let p = F.Typecheck.elab_program ast in
+    (g.G.Generator.n_lines, List.length p.F.Tast.p_globals)
+  in
+  let l1, g1 = count 500 and l2, g2 = count 2000 in
+  let density1 = float_of_int g1 /. float_of_int l1 in
+  let density2 = float_of_int g2 /. float_of_int l2 in
+  Alcotest.(check bool) "linear density" true
+    (density2 > 0.5 *. density1 && density2 < 2.0 *. density1)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_output;
+    Alcotest.test_case "size scaling" `Quick test_size_scaling;
+    Alcotest.test_case "every shape compiles" `Quick test_every_shape_compiles_alone;
+    Alcotest.test_case "every safe shape verifies" `Slow test_every_safe_shape_verifies_alone;
+    Alcotest.test_case "bug shapes alarm" `Quick test_bug_shapes_alarm;
+    Alcotest.test_case "reference runs concretely" `Quick test_reference_runs_concretely;
+    Alcotest.test_case "globals linear in size" `Quick test_globals_linear_in_size;
+  ]

@@ -1,0 +1,79 @@
+(* Invariant census and dump tests (Sect. 5.3, 9.4.1). *)
+
+module C = Astree_core
+module G = Astree_gen
+
+let analyzed =
+  lazy
+    (let g = G.Generator.reference ~target_lines:400 () in
+     let cfg =
+       {
+         C.Config.default with
+         C.Config.partitioned_functions = g.G.Generator.partition_fns;
+       }
+     in
+     C.Analysis.analyze_string ~cfg g.G.Generator.source)
+
+let test_census_shape () =
+  let r = Lazy.force analyzed in
+  match C.Invariant_census.main_loop_census r with
+  | None -> Alcotest.fail "no invariant recorded"
+  | Some c ->
+      Alcotest.(check bool) "some intervals" true
+        (c.C.Invariant_census.c_interval_assertions > 0);
+      Alcotest.(check bool) "some clock assertions" true
+        (c.C.Invariant_census.c_clock_assertions > 0);
+      Alcotest.(check bool) "clock dominates intervals (paper shape)" true
+        (c.C.Invariant_census.c_clock_assertions
+         > c.C.Invariant_census.c_interval_assertions);
+      Alcotest.(check bool) "octagonal present" true
+        (c.C.Invariant_census.c_oct_additive
+         + c.C.Invariant_census.c_oct_subtractive
+         > 0);
+      Alcotest.(check bool) "ellipsoidal present" true
+        (c.C.Invariant_census.c_ellipsoid_assertions > 0);
+      Alcotest.(check bool) "boolean cells counted" true
+        (c.C.Invariant_census.c_bool_assertions > 0);
+      Alcotest.(check bool) "fp constants recorded" true
+        (c.C.Invariant_census.c_float_constants > 0)
+
+let test_dump_nonempty_and_parsable_shape () =
+  let r = Lazy.force analyzed in
+  let s = C.Invariant_dump.to_string r in
+  Alcotest.(check bool) "non-empty" true (String.length s > 1000);
+  (* the dump must mention every global of the program *)
+  let mentions name =
+    let n = String.length s and m = String.length name in
+    let rec go i = i + m <= n && (String.sub s i m = name || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions counters" true (mentions "cnt_");
+  Alcotest.(check bool) "mentions the clock" true (mentions "clock in");
+  Alcotest.(check bool) "mentions octagons" true (mentions "octagon #")
+
+let test_dump_to_file () =
+  let r = Lazy.force analyzed in
+  let path = Filename.temp_file "astree" ".inv" in
+  let bytes = C.Invariant_dump.to_file r path in
+  let real = (Unix.stat path).Unix.st_size in
+  Sys.remove path;
+  Alcotest.(check int) "size reported" real bytes
+
+let test_census_scales_with_program () =
+  let census lines =
+    let g = G.Generator.reference ~target_lines:lines () in
+    let r = C.Analysis.analyze_string g.G.Generator.source in
+    match C.Invariant_census.main_loop_census r with
+    | Some c -> c.C.Invariant_census.c_interval_assertions
+    | None -> 0
+  in
+  let small = census 200 and large = census 800 in
+  Alcotest.(check bool) "monotone in size" true (large > small)
+
+let suite =
+  [
+    Alcotest.test_case "census shape" `Quick test_census_shape;
+    Alcotest.test_case "dump content" `Quick test_dump_nonempty_and_parsable_shape;
+    Alcotest.test_case "dump to file" `Quick test_dump_to_file;
+    Alcotest.test_case "census scales" `Quick test_census_scales_with_program;
+  ]

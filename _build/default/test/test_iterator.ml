@@ -1,0 +1,418 @@
+(* Iterator tests (Sect. 5.3-5.5, 7.1): control-flow outcomes, loop
+   strategies, polyvariant calls, return accumulation, partitioning —
+   each cross-checked against the concrete interpreter where sensible. *)
+
+module C = Astree_core
+module F = Astree_frontend
+
+let alarms ?(cfg = C.Config.default) src =
+  C.Analysis.n_alarms (C.Analysis.analyze_string ~cfg src)
+
+let proves src = Alcotest.(check int) "proved" 0 (alarms src)
+let refutes src = Alcotest.(check bool) "alarmed" true (alarms src > 0)
+
+let runs_concretely src =
+  let ast = F.Parser.parse_string ~file:"<t>" src in
+  let p = F.Typecheck.elab_program ast in
+  match F.Interp.run ~max_ticks:200 p with
+  | F.Interp.Finished -> ()
+  | F.Interp.Error (k, l) ->
+      Alcotest.failf "concrete error %a at %a" F.Interp.pp_error_kind k
+        F.Loc.pp l
+
+(* break / continue flows -------------------------------------------- *)
+
+let break_src =
+  {|
+volatile int n;
+int found;
+int main(void) {
+  __astree_input_range(n, 0.0, 9.0);
+  found = 0;
+  while (1) {
+    int i;
+    int target;
+    target = n;
+    i = 0;
+    while (i < 10) {
+      if (i == target) { found = i; break; }
+      i = i + 1;
+    }
+    __astree_assert(found >= 0 && found <= 9);
+    __astree_assert(i <= 10);
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+let test_break () =
+  proves break_src;
+  runs_concretely break_src
+
+let continue_src =
+  {|
+volatile int n;
+int sum;
+int main(void) {
+  __astree_input_range(n, 0.0, 9.0);
+  sum = 0;
+  while (1) {
+    int i;
+    i = 0;
+    sum = 0;
+    while (i < 10) {
+      i = i + 1;
+      if (i == 5) { continue; }
+      sum = sum + 1;
+    }
+    __astree_assert(sum <= 10);
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+let test_continue () =
+  proves continue_src;
+  runs_concretely continue_src
+
+let nested_src =
+  {|
+int total;
+int main(void) {
+  total = 0;
+  while (1) {
+    int i; int j; int acc;
+    acc = 0;
+    i = 0;
+    while (i < 5) {
+      j = 0;
+      while (j < 4) {
+        acc = acc + 1;
+        j = j + 1;
+      }
+      i = i + 1;
+    }
+    __astree_assert(i == 5);
+    __astree_assert(acc == 20);
+    total = acc;
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+let test_nested_loops () =
+  (* acc == 20 needs the affine relation acc = 4*i, beyond octagons:
+     with the default strategy the assertion raises a (false) alarm;
+     fully unrolling the two bounded inner loops (per-loop factors,
+     Sect. 7.1.1) proves it exactly *)
+  Alcotest.(check bool) "default strategy cannot" true (alarms nested_src > 0);
+  let cfg =
+    {
+      C.Config.default with
+      C.Config.loop_unroll_overrides = [ (1, 5); (2, 4) ];
+    }
+  in
+  Alcotest.(check int) "full unrolling proves acc == 20" 0
+    (alarms ~cfg nested_src)
+
+let test_do_while () =
+  proves
+    {|
+int k;
+int main(void) {
+  while (1) {
+    int i;
+    i = 0;
+    do { i = i + 1; } while (i < 3);
+    __astree_assert(i >= 1 && i <= 3);
+    k = i;
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+let test_for_loop_bound () =
+  (* s == 16 needs s = 2*i; fully unrolling the bounded for-loop
+     (Sect. 7.1.1) makes the analysis exact *)
+  let src =
+    {|
+int out;
+int main(void) {
+  while (1) {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 8; i = i + 1) { s = s + 2; }
+    __astree_assert(i == 8);
+    __astree_assert(s == 16);
+    out = s;
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+  in
+  let cfg =
+    { C.Config.default with C.Config.loop_unroll_overrides = [ (1, 8) ] }
+  in
+  Alcotest.(check int) "full unrolling proves s == 16" 0 (alarms ~cfg src)
+
+(* returns and side effects ------------------------------------------ *)
+
+let test_early_return_env () =
+  (* the environment at the return statement is accumulated with the
+     fall-through environment (Sect. 5.4) *)
+  proves
+    {|
+int g;
+int pick(int c) {
+  g = 1;
+  if (c > 0) { g = 2; return 10; }
+  g = 3;
+  return 20;
+}
+volatile int vc;
+int r;
+int main(void) {
+  __astree_input_range(vc, -5.0, 5.0);
+  while (1) {
+    r = pick(vc);
+    /* r == 10 || r == 20 is a disjunction of points, outside intervals */
+    __astree_assert(r >= 10 && r <= 20);
+    __astree_assert(g >= 2 && g <= 3);
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+let test_side_effect_through_reference () =
+  proves
+    {|
+void bump(int *p, int by) { *p = *p + by; }
+int counter;
+int main(void) {
+  counter = 0;
+  while (1) {
+    bump(&counter, 2);
+    if (counter > 100) { counter = 0; }
+    __astree_assert(counter <= 102);
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+let test_call_in_condition () =
+  proves
+    {|
+volatile int v;
+int threshold(void) { return 50; }
+int hits;
+int main(void) {
+  __astree_input_range(v, 0.0, 100.0);
+  hits = 0;
+  while (1) {
+    if (v > threshold()) { hits = hits + 1; }
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+let test_void_function () =
+  proves
+    {|
+float st;
+void reset(void) { st = 0.0f; }
+int main(void) {
+  st = 5.0f;
+  while (1) {
+    reset();
+    __astree_assert(st >= 0.0f && st <= 0.0f);
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+(* partitioning inside functions with inner control flow -------------- *)
+
+let test_partitioned_function_with_inner_if () =
+  let src =
+    {|
+volatile float w;
+float out;
+void sel(void) {
+  float den; float num;
+  float x;
+  x = w;
+  if (x < -1.0f) { den = -2.0f; num = 1.0f; }
+  else { if (x > 1.0f) { den = 2.0f; num = 1.0f; } else { den = 1.0f; num = 0.0f; } }
+  out = num / den;
+}
+int main(void) {
+  __astree_input_range(w, -10.0, 10.0);
+  out = 0.0f;
+  while (1) { sel(); __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+  in
+  let part =
+    { C.Config.default with C.Config.partitioned_functions = [ "sel" ] }
+  in
+  Alcotest.(check int) "partitioned proves" 0 (alarms ~cfg:part src);
+  Alcotest.(check bool) "merged alarms" true (alarms src > 0)
+
+let test_partition_cap () =
+  (* many branches in a partitioned function: the partition bound keeps
+     the trace count finite and the result sound *)
+  let src =
+    {|
+volatile int s;
+float y;
+void f(void) {
+  float a;
+  a = 1.0f;
+  if (s == 1) { a = 2.0f; }
+  if (s == 2) { a = 3.0f; }
+  if (s == 3) { a = 4.0f; }
+  if (s == 4) { a = 5.0f; }
+  if (s == 5) { a = 6.0f; }
+  y = 100.0f / a;
+}
+int main(void) {
+  __astree_input_range(s, 0.0, 5.0);
+  y = 0.0f;
+  while (1) { f(); __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+  in
+  let cfg =
+    {
+      C.Config.default with
+      C.Config.partitioned_functions = [ "f" ];
+      max_partitions = 4;
+    }
+  in
+  Alcotest.(check int) "still precise enough" 0 (alarms ~cfg src)
+
+(* widening / narrowing edges ----------------------------------------- *)
+
+let test_narrowing_recovers_overshoot () =
+  (* the invariant parks at a widening threshold; the decreasing
+     iterations must pull it back near the least fixpoint *)
+  let src =
+    {|
+volatile float u;
+float acc;
+short reg;
+int main(void) {
+  __astree_input_range(u, -2.0, 2.0);
+  acc = 0.0f;
+  reg = 0;
+  while (1) {
+    acc = 0.5f * acc + u;
+    reg = (short)(acc * 1000.0f);   /* needs |acc| <= ~32 */
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+  in
+  proves src
+
+let test_zero_iterations_loop () =
+  proves
+    {|
+int x;
+int main(void) {
+  x = 0;
+  while (1) {
+    int i;
+    i = 10;
+    while (i < 10) { i = i + 1; x = 99; }
+    __astree_assert(x == 0);
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+let test_loop_guard_exit_refinement () =
+  proves
+    {|
+int last;
+int main(void) {
+  while (1) {
+    int i;
+    i = 0;
+    while (i < 7) { i = i + 1; }
+    __astree_assert(i == 7);
+    last = i;
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+let test_unroll_override () =
+  (* per-loop unrolling override through the config *)
+  let src =
+    {|
+int x;
+int main(void) {
+  x = 0;
+  while (1) {
+    x = 1;
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+  in
+  let cfg =
+    { C.Config.default with C.Config.loop_unroll_overrides = [ (0, 3) ] }
+  in
+  Alcotest.(check int) "still sound" 0 (alarms ~cfg src)
+
+let test_checking_mode_covers_loop_body () =
+  (* alarms inside loop bodies are found by the extra checking pass *)
+  refutes
+    {|
+volatile int d;
+int y;
+int main(void) {
+  __astree_input_range(d, 0.0, 3.0);
+  while (1) {
+    y = 100 / d;      /* d may be 0 */
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+let suite =
+  [
+    Alcotest.test_case "break" `Quick test_break;
+    Alcotest.test_case "continue" `Quick test_continue;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops;
+    Alcotest.test_case "do-while" `Quick test_do_while;
+    Alcotest.test_case "for-loop bound" `Quick test_for_loop_bound;
+    Alcotest.test_case "early-return environments" `Quick test_early_return_env;
+    Alcotest.test_case "reference side effects" `Quick test_side_effect_through_reference;
+    Alcotest.test_case "call in condition" `Quick test_call_in_condition;
+    Alcotest.test_case "void function" `Quick test_void_function;
+    Alcotest.test_case "partitioned inner ifs" `Quick test_partitioned_function_with_inner_if;
+    Alcotest.test_case "partition cap" `Quick test_partition_cap;
+    Alcotest.test_case "narrowing recovers overshoot" `Quick test_narrowing_recovers_overshoot;
+    Alcotest.test_case "zero-iteration loop" `Quick test_zero_iterations_loop;
+    Alcotest.test_case "loop exit refinement" `Quick test_loop_guard_exit_refinement;
+    Alcotest.test_case "per-loop unroll override" `Quick test_unroll_override;
+    Alcotest.test_case "checking pass covers loop bodies" `Quick test_checking_mode_covers_loop_body;
+  ]

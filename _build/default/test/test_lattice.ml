@@ -1,0 +1,290 @@
+(* Systematic lattice-law property tests across all abstract domains:
+   join is an upper bound and commutative, meet is a lower bound,
+   subset is reflexive and transitive, widening dominates both sides,
+   and iterated widening terminates.  These are the soundness
+   obligations of Sect. 5.5 and [8, 11]. *)
+
+module F = Astree_frontend
+module D = Astree_domains
+
+let mkvar =
+  let next = ref 7000 in
+  fun name ty ->
+    incr next;
+    {
+      F.Tast.v_id = !next;
+      v_name = name;
+      v_orig = name;
+      v_ty = ty;
+      v_kind = F.Tast.Kglobal;
+      v_volatile = false;
+      v_loc = F.Loc.dummy;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Octagon                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* fixed 3-variable pack shared by all generated octagons *)
+let oct_pack =
+  [| mkvar "ox" F.Ctypes.t_float; mkvar "oy" F.Ctypes.t_float;
+     mkvar "oz" F.Ctypes.t_float |]
+
+type oct_recipe = {
+  boxes : (float * float) list;  (** per variable *)
+  diffs : (int * int * float) list;  (** x_i - x_j <= c *)
+  sums : (int * int * float) list;   (** x_i + x_j <= c *)
+}
+
+let gen_oct_recipe : oct_recipe QCheck.Gen.t =
+  QCheck.Gen.(
+    let bound = float_range (-40.0) 40.0 in
+    let pair_c =
+      triple (int_range 0 2) (int_range 0 2) (float_range (-20.0) 60.0)
+    in
+    map3
+      (fun boxes diffs sums -> { boxes; diffs; sums })
+      (list_repeat 3
+         (map2 (fun a b -> (Float.min a b, Float.max a b)) bound bound))
+      (list_size (int_range 0 3) pair_c)
+      (list_size (int_range 0 3) pair_c))
+
+let build_oct (r : oct_recipe) : D.Octagon.t =
+  let o = D.Octagon.top oct_pack in
+  List.iteri (fun i (lo, hi) -> D.Octagon.set_bounds o oct_pack.(i) (lo, hi)) r.boxes;
+  List.iter
+    (fun (i, j, c) ->
+      if i <> j then D.Octagon.add_diff_le o oct_pack.(i) oct_pack.(j) c)
+    r.diffs;
+  List.iter
+    (fun (i, j, c) ->
+      if i <> j then D.Octagon.add_sum_le o oct_pack.(i) oct_pack.(j) c)
+    r.sums;
+  D.Octagon.close o;
+  o
+
+let arb_oct =
+  QCheck.make
+    ~print:(fun r -> Fmt.str "%d boxes" (List.length r.boxes))
+    gen_oct_recipe
+
+let oct_props =
+  let module O = D.Octagon in
+  [
+    QCheck.Test.make ~name:"octagon: subset reflexive" arb_oct (fun r ->
+        let o = build_oct r in
+        O.subset o o);
+    QCheck.Test.make ~name:"octagon: join upper bound"
+      (QCheck.pair arb_oct arb_oct) (fun (r1, r2) ->
+        let a = build_oct r1 and b = build_oct r2 in
+        let j = O.join a b in
+        O.subset a j && O.subset b j);
+    QCheck.Test.make ~name:"octagon: join commutative"
+      (QCheck.pair arb_oct arb_oct) (fun (r1, r2) ->
+        let a = build_oct r1 and b = build_oct r2 in
+        O.equal (O.join a b) (O.join b a));
+    QCheck.Test.make ~name:"octagon: meet lower bound"
+      (QCheck.pair arb_oct arb_oct) (fun (r1, r2) ->
+        let a = build_oct r1 and b = build_oct r2 in
+        let m = O.meet a b in
+        O.subset m a && O.subset m b);
+    QCheck.Test.make ~name:"octagon: widen dominates"
+      (QCheck.pair arb_oct arb_oct) (fun (r1, r2) ->
+        let a = build_oct r1 and b = build_oct r2 in
+        let w = O.widen ~thresholds:D.Thresholds.default a b in
+        O.subset a w && O.subset b w);
+    QCheck.Test.make ~name:"octagon: closure reductive, idempotent to 1 ulp"
+      arb_oct (fun r ->
+        let o = build_oct r in
+        let before = O.copy o in
+        O.close o;
+        O.subset o before
+        &&
+        let once = O.copy o in
+        O.close o;
+        (* with upward-rounded bound arithmetic, a second closure may
+           shave at most rounding noise off each entry *)
+        O.subset o once
+        &&
+        let n2 = 2 * Array.length oct_pack in
+        let ok = ref true in
+        for i = 0 to n2 - 1 do
+          for j = 0 to n2 - 1 do
+            let a = o.O.m.(i).(j) and b = once.O.m.(i).(j) in
+            if
+              not
+                (a = b
+                || Float.abs (a -. b)
+                   <= 1e-9 *. Float.max 1.0 (Float.abs b))
+            then ok := false
+          done
+        done;
+        !ok);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ellipsoid                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ell_pack =
+  [| mkvar "ex" F.Ctypes.t_float; mkvar "ey" F.Ctypes.t_float;
+     mkvar "ez" F.Ctypes.t_float |]
+
+let build_ell (ks : (int * int * float) list) : D.Ellipsoid.t =
+  let e = D.Ellipsoid.make ~a:1.5 ~b:0.7 ~fkind:F.Ctypes.Fsingle ell_pack in
+  List.fold_left
+    (fun e (i, j, k) -> D.Ellipsoid.set e ell_pack.(i) ell_pack.(j) (Float.abs k))
+    e ks
+
+let arb_ell =
+  QCheck.make
+    ~print:(fun l -> Fmt.str "%d constraints" (List.length l))
+    QCheck.Gen.(
+      list_size (int_range 0 4)
+        (triple (int_range 0 2) (int_range 0 2) (float_range 0.0 100.0)))
+
+let ell_props =
+  let module E = D.Ellipsoid in
+  [
+    QCheck.Test.make ~name:"ellipsoid: subset reflexive" arb_ell (fun l ->
+        let e = build_ell l in
+        E.subset e e);
+    QCheck.Test.make ~name:"ellipsoid: join upper bound"
+      (QCheck.pair arb_ell arb_ell) (fun (l1, l2) ->
+        let a = build_ell l1 and b = build_ell l2 in
+        let j = E.join a b in
+        E.subset a j && E.subset b j);
+    QCheck.Test.make ~name:"ellipsoid: meet lower bound"
+      (QCheck.pair arb_ell arb_ell) (fun (l1, l2) ->
+        let a = build_ell l1 and b = build_ell l2 in
+        let m = E.meet a b in
+        E.subset m a && E.subset m b);
+    QCheck.Test.make ~name:"ellipsoid: widen dominates"
+      (QCheck.pair arb_ell arb_ell) (fun (l1, l2) ->
+        let a = build_ell l1 and b = build_ell l2 in
+        let w = E.widen ~thresholds:D.Thresholds.default a b in
+        E.subset a w && E.subset b w);
+    QCheck.Test.make ~name:"ellipsoid: delta monotone"
+      (QCheck.pair (QCheck.float_range 0.0 100.0) (QCheck.float_range 0.0 100.0))
+      (fun (k1, k2) ->
+        let e = build_ell [] in
+        let lo = Float.min k1 k2 and hi = Float.max k1 k2 in
+        E.delta e ~t_max:1.0 lo <= E.delta e ~t_max:1.0 hi);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Decision trees                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dt_bools = [| mkvar "db1" F.Ctypes.t_bool; mkvar "db2" F.Ctypes.t_bool |]
+let dt_nums = [| mkvar "dn" F.Ctypes.t_int |]
+
+(* random tree built by a sequence of guard/assign operations *)
+type dt_op =
+  | Guard of int * bool
+  | AssignNum of int * int
+  | AssignBool of int * bool
+  | ForgetB of int
+
+let gen_dt : D.Decision_tree.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let op =
+      oneof
+        [
+          map2 (fun i b -> Guard (i, b)) (int_range 0 1) bool;
+          map2 (fun lo w -> AssignNum (lo, w)) (int_range (-20) 20) (int_range 0 20);
+          map2 (fun i b -> AssignBool (i, b)) (int_range 0 1) bool;
+          map (fun i -> ForgetB i) (int_range 0 1);
+        ]
+    in
+    map
+      (fun ops ->
+        List.fold_left
+          (fun d op ->
+            match op with
+            | Guard (i, b) ->
+                let d' = D.Decision_tree.guard_bool d dt_bools.(i) b in
+                if D.Decision_tree.is_bot d' then d else d'
+            | AssignNum (lo, w) ->
+                D.Decision_tree.assign_num d dt_nums.(0) (fun _ _ ->
+                    D.Itv.int_range lo (lo + w))
+            | AssignBool (i, b) ->
+                D.Decision_tree.assign_bool_const d dt_bools.(i) b
+            | ForgetB i -> D.Decision_tree.forget_bool d dt_bools.(i))
+          (D.Decision_tree.top dt_bools dt_nums)
+          ops)
+      (list_size (int_range 0 8) op))
+
+let arb_dt = QCheck.make ~print:(fun d -> Fmt.str "tree/%d" (D.Decision_tree.size d)) gen_dt
+
+let dt_props =
+  let module T = D.Decision_tree in
+  [
+    QCheck.Test.make ~name:"dtree: subset reflexive" arb_dt (fun d -> T.subset d d);
+    QCheck.Test.make ~name:"dtree: join upper bound" (QCheck.pair arb_dt arb_dt)
+      (fun (a, b) ->
+        let j = T.join a b in
+        T.subset a j && T.subset b j);
+    QCheck.Test.make ~name:"dtree: join commutative-ish"
+      (QCheck.pair arb_dt arb_dt) (fun (a, b) ->
+        T.equal (T.join a b) (T.join b a));
+    QCheck.Test.make ~name:"dtree: meet lower bound" (QCheck.pair arb_dt arb_dt)
+      (fun (a, b) ->
+        let m = T.meet a b in
+        T.subset m a && T.subset m b);
+    QCheck.Test.make ~name:"dtree: widen dominates" (QCheck.pair arb_dt arb_dt)
+      (fun (a, b) ->
+        let w = T.widen ~thresholds:D.Thresholds.default a b in
+        T.subset a w && T.subset b w);
+    QCheck.Test.make ~name:"dtree: guard refines" (QCheck.pair arb_dt QCheck.bool)
+      (fun (d, v) ->
+        let g = T.guard_bool d dt_bools.(0) v in
+        T.subset g d);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Clocked                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_clocked : D.Clocked.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let itv =
+      map2
+        (fun a b -> D.Itv.int_range (min a b) (max a b))
+        (int_range (-100) 100) (int_range (-100) 100)
+    in
+    map3
+      (fun i clk ticks ->
+        let c = D.Clocked.of_itv i (D.Itv.int_const clk) in
+        let rec tick n c = if n = 0 then c else tick (n - 1) (D.Clocked.tick c) in
+        tick ticks c)
+      itv (int_range 0 5) (int_range 0 5))
+
+let arb_clocked =
+  QCheck.make ~print:(Fmt.str "%a" D.Clocked.pp) gen_clocked
+
+let clocked_props =
+  let module C = D.Clocked in
+  [
+    QCheck.Test.make ~name:"clocked: subset reflexive" arb_clocked (fun c ->
+        C.subset c c);
+    QCheck.Test.make ~name:"clocked: join upper bound"
+      (QCheck.pair arb_clocked arb_clocked) (fun (a, b) ->
+        let j = C.join a b in
+        C.subset a j && C.subset b j);
+    QCheck.Test.make ~name:"clocked: meet lower bound"
+      (QCheck.pair arb_clocked arb_clocked) (fun (a, b) ->
+        let m = C.meet a b in
+        C.subset m a && C.subset m b);
+    QCheck.Test.make ~name:"clocked: widen dominates"
+      (QCheck.pair arb_clocked arb_clocked) (fun (a, b) ->
+        let w = C.widen ~thresholds:D.Thresholds.default a b in
+        C.subset a w && C.subset b w);
+    QCheck.Test.make ~name:"clocked: reduce is reductive" arb_clocked (fun c ->
+        let r = C.reduce (D.Itv.int_range 0 10) c in
+        C.subset r c || C.is_bot r);
+  ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    (oct_props @ ell_props @ dt_props @ clocked_props)

@@ -1,0 +1,144 @@
+(* Linear forms and linearization tests (Sect. 6.3). *)
+
+module F = Astree_frontend
+module D = Astree_domains
+module LF = D.Linear_form
+
+let mkvar =
+  let next = ref 4000 in
+  fun name ->
+    incr next;
+    {
+      F.Tast.v_id = !next;
+      v_name = name;
+      v_orig = name;
+      v_ty = F.Ctypes.t_float;
+      v_kind = F.Tast.Kglobal;
+      v_volatile = false;
+      v_loc = F.Loc.dummy;
+    }
+
+let test_exact_coefficients () =
+  let x = mkvar "x" and y = mkvar "y" in
+  (* x + y - x has coefficient exactly 1 on y and none on x *)
+  let f = LF.(sub (add (of_var x) (of_var y)) (of_var x)) in
+  match LF.as_single_var f with
+  | Some (v, k, c) ->
+      Alcotest.(check bool) "var" true (F.Tast.Var.equal v y);
+      Alcotest.(check (float 0.)) "coeff lo" 1.0 k.LF.lo;
+      Alcotest.(check (float 0.)) "coeff hi" 1.0 k.LF.hi;
+      Alcotest.(check (float 0.)) "const" 0.0 c.LF.lo
+  | None -> Alcotest.fail "not single var"
+
+let test_scale () =
+  let x = mkvar "x" in
+  let f = LF.scale (LF.coeff_const 0.5) (LF.of_var x) in
+  let lo, hi = LF.eval (fun _ -> (0.0, 10.0)) f in
+  Alcotest.(check bool) "range" true (lo <= 0.0 && hi >= 5.0 && hi <= 5.0001)
+
+let test_eval_paper_example () =
+  (* l[X - 0.2*X] = 0.8*X evaluates to [0, 0.8] for X in [0,1] *)
+  let x = mkvar "x" in
+  let f = LF.(sub (of_var x) (scale (coeff_const 0.2) (of_var x))) in
+  let lo, hi = LF.eval (fun _ -> (0.0, 1.0)) f in
+  Alcotest.(check bool) "lower" true (lo >= -0.0001 && lo <= 0.0);
+  Alcotest.(check bool) "upper" true (hi >= 0.8 && hi <= 0.8001)
+
+let test_div_const () =
+  let x = mkvar "x" in
+  let f = LF.of_var x in
+  (match LF.div_const f { LF.lo = 2.0; hi = 2.0 } with
+  | Some f' ->
+      let lo, hi = LF.eval (fun _ -> (0.0, 10.0)) f' in
+      Alcotest.(check bool) "halved" true (lo <= 0.0 && hi >= 5.0 && hi <= 5.001)
+  | None -> Alcotest.fail "div failed");
+  Alcotest.(check bool) "div by zero-crossing fails" true
+    (LF.div_const f { LF.lo = -1.0; hi = 1.0 } = None)
+
+let test_rounding_error_term () =
+  let x = mkvar "x" in
+  let f = LF.add_rounding_error F.Ctypes.Fsingle 100.0 (LF.of_var x) in
+  let lo, hi = LF.eval (fun _ -> (1.0, 1.0)) f in
+  (* error ~ 100 * 2^-24 ~ 6e-6 *)
+  Alcotest.(check bool) "enlarged" true (hi > 1.0 && hi < 1.0001);
+  Alcotest.(check bool) "symmetric" true (lo < 1.0 && lo > 0.9999)
+
+(* linearization of typed expressions *)
+let mk_expr ety edesc = { F.Tast.edesc; ety; eloc = F.Loc.dummy }
+let fs = F.Ctypes.Tfloat F.Ctypes.Fsingle
+
+let var_e (v : F.Tast.var) =
+  mk_expr fs
+    (F.Tast.Elval { F.Tast.ldesc = F.Tast.Lvar v; lty = v.F.Tast.v_ty; lloc = F.Loc.dummy })
+
+let test_linearize_paper_example () =
+  (* X - 0.2f * X refines [-0.2, 1] to about [0, 0.8] *)
+  let x = mkvar "x" in
+  let e =
+    mk_expr fs
+      (F.Tast.Ebinop
+         ( F.Tast.Sub,
+           var_e x,
+           mk_expr fs
+             (F.Tast.Ebinop
+                (F.Tast.Mul, mk_expr fs (F.Tast.Efloat 0.2), var_e x)) ))
+  in
+  let oracle _ = (0.0, 1.0) in
+  let plain = D.Itv.float_range (-0.2) 1.0 in
+  match D.Linearize.refine_eval oracle e plain with
+  | D.Itv.Float (lo, hi) ->
+      Alcotest.(check bool) "refined hi" true (hi <= 0.801);
+      Alcotest.(check bool) "refined lo" true (lo >= -0.001)
+  | i -> Alcotest.failf "unexpected %a" D.Itv.pp i
+
+let test_linearize_nonlinear_gives_up () =
+  let x = mkvar "x" in
+  let e = mk_expr fs (F.Tast.Ebinop (F.Tast.Mul, var_e x, var_e x)) in
+  Alcotest.(check bool) "x*x intervalizes one side" true
+    (D.Linearize.linearize (fun _ -> (0.0, 2.0)) e <> None);
+  let e' = mk_expr fs (F.Tast.Eunop (F.Tast.Sqrt, var_e x)) in
+  Alcotest.(check bool) "sqrt gives up" true
+    (D.Linearize.linearize (fun _ -> (0.0, 2.0)) e' = None)
+
+let prop_linearize_sound =
+  (* the linear form's interval always contains the concrete value *)
+  QCheck.Test.make ~name:"linearization over-approximates concrete eval"
+    ~count:200
+    QCheck.(
+      quad (float_range (-10.) 10.) (float_range (-10.) 10.)
+        (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (xv, yv, c1, c2) ->
+      let x = mkvar "x" and y = mkvar "y" in
+      (* e = c1*x + (y - c2) computed in single precision *)
+      let e =
+        mk_expr fs
+          (F.Tast.Ebinop
+             ( F.Tast.Add,
+               mk_expr fs
+                 (F.Tast.Ebinop
+                    (F.Tast.Mul, mk_expr fs (F.Tast.Efloat c1), var_e x)),
+               mk_expr fs
+                 (F.Tast.Ebinop
+                    (F.Tast.Sub, var_e y, mk_expr fs (F.Tast.Efloat c2))) ))
+      in
+      let oracle v = if v.F.Tast.v_name = "x" then (xv, xv) else (yv, yv) in
+      match D.Linearize.linearize oracle e with
+      | None -> false
+      | Some form ->
+          let lo, hi = LF.eval oracle form in
+          (* concrete single-precision evaluation *)
+          let r32 f = Int32.float_of_bits (Int32.bits_of_float f) in
+          let concrete = r32 (r32 (c1 *. xv) +. r32 (yv -. c2)) in
+          lo <= concrete && concrete <= hi)
+
+let suite =
+  [
+    Alcotest.test_case "exact coefficients" `Quick test_exact_coefficients;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "paper example form" `Quick test_eval_paper_example;
+    Alcotest.test_case "division by constant" `Quick test_div_const;
+    Alcotest.test_case "rounding error term" `Quick test_rounding_error_term;
+    Alcotest.test_case "linearize paper example" `Quick test_linearize_paper_example;
+    Alcotest.test_case "non-linear handling" `Quick test_linearize_nonlinear_gives_up;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_linearize_sound ]

@@ -1,0 +1,215 @@
+(* Packing strategy tests (Sect. 7.2). *)
+
+module F = Astree_frontend
+module C = Astree_core
+
+let compile src =
+  let ast = F.Parser.parse_string ~file:"<t>" src in
+  F.Typecheck.elab_program ast
+
+let packs ?(cfg = C.Config.default) src = C.Packing.compute cfg (compile src)
+
+let test_octagon_pack_per_block () =
+  (* one pack per syntactic block with >= 2 linear variables *)
+  let src =
+    {|
+float a; float b; float c;
+float d; float e;
+void f(void) {
+  a = b + c;
+  if (a > 0.0f) {
+    d = e - a;
+  }
+}
+int main(void) { f(); return 0; }
+|}
+  in
+  let p = packs src in
+  (* outer block of f: {a, b, c}; inner: {d, e, a} *)
+  Alcotest.(check bool) "at least two packs" true
+    (List.length p.C.Packing.octs >= 2);
+  List.iter
+    (fun (op : C.Packing.oct_pack) ->
+      Alcotest.(check bool) "pack size" true (Array.length op.C.Packing.op_vars >= 2))
+    p.C.Packing.octs
+
+let test_octagon_pack_ignores_nonlinear () =
+  let src =
+    {|
+float a; float b;
+void f(void) { a = a * b; }
+int main(void) { f(); return 0; }
+|}
+  in
+  let p = packs src in
+  Alcotest.(check int) "nonlinear not packed" 0 (List.length p.C.Packing.octs)
+
+let test_octagon_pack_size_cap () =
+  let src =
+    {|
+float v0; float v1; float v2; float v3; float v4; float v5; float v6; float v7;
+void f(void) { v0 = v1 + v2 + v3 + v4 + v5 + v6 + v7; }
+int main(void) { f(); return 0; }
+|}
+  in
+  let cfg = { C.Config.default with C.Config.max_octagon_pack = 4 } in
+  let p = packs ~cfg src in
+  List.iter
+    (fun (op : C.Packing.oct_pack) ->
+      Alcotest.(check bool) "capped" true (Array.length op.C.Packing.op_vars <= 4))
+    p.C.Packing.octs
+
+let test_ellipsoid_pack_detection () =
+  let src =
+    {|
+float x; float y; float x2;
+volatile float t;
+void f(void) { x2 = 1.4f * x - 0.6f * y + t; }
+int main(void) { __astree_input_range(t, -1.0, 1.0); f(); return 0; }
+|}
+  in
+  let p = packs src in
+  Alcotest.(check bool) "detected" true (List.length p.C.Packing.ells >= 1);
+  let ep = List.hd p.C.Packing.ells in
+  Alcotest.(check bool) "prop 1 conditions" true
+    (Astree_domains.Ellipsoid.valid_coeffs ~a:ep.C.Packing.ep_a
+       ~b:ep.C.Packing.ep_b)
+
+let test_ellipsoid_rejects_invalid_coeffs () =
+  (* b = 1.5 violates 0 < b < 1; a = 2.5 with b = 0.9 violates a^2 < 4b *)
+  let src =
+    {|
+float x; float y; float x2;
+void f(void) { x2 = 0.5f * x - 1.5f * y; }
+void g(void) { x2 = 2.5f * x - 0.9f * y; }
+int main(void) { f(); g(); return 0; }
+|}
+  in
+  let p = packs src in
+  Alcotest.(check int) "rejected" 0 (List.length p.C.Packing.ells)
+
+let test_dtree_pack_confirmation () =
+  (* tentative but never used under a boolean branch: dropped *)
+  let src_uncomfirmed =
+    {|
+volatile int n;
+_Bool b;
+int main(void) {
+  __astree_input_range(n, 0.0, 10.0);
+  while (1) {
+    int x;
+    x = n;
+    b = (x == 0);
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+  in
+  let p = packs src_uncomfirmed in
+  Alcotest.(check int) "unconfirmed dropped" 0 (List.length p.C.Packing.dts);
+  let src_confirmed =
+    {|
+volatile int n;
+_Bool b;
+float y;
+int main(void) {
+  __astree_input_range(n, 0.0, 10.0);
+  while (1) {
+    int x;
+    x = n;
+    b = (x == 0);
+    if (!b) { y = 1.0f / (float)x; }
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+  in
+  let p = packs src_confirmed in
+  Alcotest.(check bool) "confirmed kept" true (List.length p.C.Packing.dts >= 1)
+
+let test_dtree_bool_cap () =
+  let src =
+    {|
+volatile int n;
+_Bool b1; _Bool b2; _Bool b3; _Bool b4; _Bool b5;
+float y;
+int main(void) {
+  __astree_input_range(n, 0.0, 10.0);
+  while (1) {
+    int x;
+    x = n;
+    b1 = (x == 0);
+    b2 = b1;
+    b3 = b2;
+    b4 = b3;
+    b5 = b4;
+    if (!b5) { y = 1.0f / (float)x; }
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+  in
+  let cfg = { C.Config.default with C.Config.max_dtree_bools = 3 } in
+  let p = packs ~cfg src in
+  List.iter
+    (fun (dp : C.Packing.dt_pack) ->
+      Alcotest.(check bool) "bool cap" true
+        (Array.length dp.C.Packing.dp_bools <= 3))
+    p.C.Packing.dts
+
+let test_useful_packs_filter () =
+  let src =
+    {|
+float a; float b; float c;
+void f(void) { a = b + c; }
+int main(void) { f(); return 0; }
+|}
+  in
+  let p = packs src in
+  Alcotest.(check bool) "has packs" true (List.length p.C.Packing.octs >= 1);
+  let cfg =
+    { C.Config.default with C.Config.useful_packs_only = Some ("t", []) }
+  in
+  let p' = packs ~cfg src in
+  Alcotest.(check int) "all filtered" 0 (List.length p'.C.Packing.octs)
+
+let test_syntactic_linear () =
+  let p = compile "float a; float b; float r;\nint main(void) { r = 2.0f * a - b + 1.0f; return 0; }" in
+  let found = ref None in
+  List.iter
+    (fun (_, fd) ->
+      F.Tast.iter_stmts
+        (fun s ->
+          match s.F.Tast.sdesc with
+          | F.Tast.Sassign ({ ldesc = F.Tast.Lvar v; _ }, e)
+            when v.F.Tast.v_orig = "r" ->
+              found := C.Packing.syntactic_linear e
+          | _ -> ())
+        fd.F.Tast.fd_body)
+    p.F.Tast.p_funs;
+  match !found with
+  | Some (terms, c) ->
+      Alcotest.(check int) "two terms" 2 (List.length terms);
+      Alcotest.(check (float 0.)) "const" 1.0 c;
+      List.iter
+        (fun ((v : F.Tast.var), k) ->
+          if v.F.Tast.v_orig = "a" then Alcotest.(check (float 0.)) "a coeff" 2.0 k
+          else Alcotest.(check (float 0.)) "b coeff" (-1.0) k)
+        terms
+  | None -> Alcotest.fail "not linear"
+
+let suite =
+  [
+    Alcotest.test_case "octagon pack per block" `Quick test_octagon_pack_per_block;
+    Alcotest.test_case "nonlinear ignored" `Quick test_octagon_pack_ignores_nonlinear;
+    Alcotest.test_case "octagon pack size cap" `Quick test_octagon_pack_size_cap;
+    Alcotest.test_case "ellipsoid detection" `Quick test_ellipsoid_pack_detection;
+    Alcotest.test_case "ellipsoid coefficient conditions" `Quick test_ellipsoid_rejects_invalid_coeffs;
+    Alcotest.test_case "dtree confirmation" `Quick test_dtree_pack_confirmation;
+    Alcotest.test_case "dtree boolean cap" `Quick test_dtree_bool_cap;
+    Alcotest.test_case "useful-pack filter" `Quick test_useful_packs_filter;
+    Alcotest.test_case "syntactic linear forms" `Quick test_syntactic_linear;
+  ]

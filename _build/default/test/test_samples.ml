@@ -1,0 +1,111 @@
+(* The checked-in sample programs of examples/data, analyzed through the
+   on-disk pipeline (files, partition markers, CLI-level config). *)
+
+module C = Astree_core
+module F = Astree_frontend
+
+let data_dir =
+  (* tests run from the dune sandbox; locate the repository root by
+     walking up until examples/data is found *)
+  let rec find dir depth =
+    let cand = Filename.concat dir "examples/data" in
+    if Sys.file_exists cand then Some cand
+    else if depth = 0 then None
+    else find (Filename.dirname dir) (depth - 1)
+  in
+  find (Sys.getcwd ()) 6
+
+let read path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let with_sample name f =
+  match data_dir with
+  | None -> Alcotest.skip ()
+  | Some dir ->
+      let path = Filename.concat dir name in
+      if not (Sys.file_exists path) then Alcotest.skip () else f (read path)
+
+(* honor the astree-partition marker like bin/astree does *)
+let config_for src =
+  let marker = "astree-partition:" in
+  let cfg = C.Config.default in
+  match
+    let n = String.length src and m = String.length marker in
+    let rec go i = if i + m > n then None
+      else if String.sub src i m = marker then Some (i + m) else go (i + 1)
+    in
+    go 0
+  with
+  | None -> cfg
+  | Some start ->
+      let stop =
+        match String.index_from_opt src start '*' with
+        | Some k -> k
+        | None -> String.length src
+      in
+      let fns =
+        String.sub src start (stop - start)
+        |> String.trim |> String.split_on_char ' '
+        |> List.filter (fun s -> s <> "")
+      in
+      { cfg with C.Config.partitioned_functions = fns }
+
+let test_mini_fbw () =
+  with_sample "mini_fbw.c" (fun src ->
+      let r = C.Analysis.analyze_string ~cfg:(config_for src) src in
+      Alcotest.(check int) "verified" 0 (C.Analysis.n_alarms r);
+      Alcotest.(check bool) "uses all three relational domains" true
+        (r.C.Analysis.r_stats.C.Analysis.s_oct_packs > 0
+        && r.C.Analysis.r_stats.C.Analysis.s_ell_packs > 0
+        && r.C.Analysis.r_stats.C.Analysis.s_dt_packs > 0))
+
+let test_filter_bank () =
+  with_sample "filter_bank.c" (fun src ->
+      let r = C.Analysis.analyze_string src in
+      Alcotest.(check int) "cascade verified" 0 (C.Analysis.n_alarms r))
+
+let test_buggy_demo () =
+  with_sample "buggy_demo.c" (fun src ->
+      let r = C.Analysis.analyze_string src in
+      let kinds =
+        List.map (fun (a : C.Alarm.t) -> a.C.Alarm.a_kind) r.C.Analysis.r_alarms
+      in
+      Alcotest.(check bool) "oob found" true
+        (List.mem C.Alarm.Out_of_bounds kinds);
+      Alcotest.(check bool) "div found" true
+        (List.mem C.Alarm.Div_by_zero kinds);
+      Alcotest.(check bool) "overflow found" true
+        (List.mem C.Alarm.Int_overflow kinds))
+
+let test_buggy_demo_concrete_agreement () =
+  (* the concrete interpreter hits (at least) the same defects under
+     adversarial inputs *)
+  with_sample "buggy_demo.c" (fun src ->
+      let ast = F.Parser.parse_string ~file:"buggy_demo.c" src in
+      let p = F.Typecheck.elab_program ast in
+      let hit = ref false in
+      for seed = 1 to 10 do
+        let state = ref seed in
+        let input (spec : F.Tast.input_spec) =
+          state := ((!state * 48271) + 11) land 0xFFFFFF;
+          let u = float_of_int !state /. 16777216.0 in
+          Float.round
+            (spec.F.Tast.in_lo +. (u *. (spec.F.Tast.in_hi -. spec.F.Tast.in_lo)))
+        in
+        match F.Interp.run ~max_ticks:100 ~input p with
+        | F.Interp.Error _ -> hit := true
+        | F.Interp.Finished -> ()
+      done;
+      Alcotest.(check bool) "concretely reachable" true !hit)
+
+let suite =
+  [
+    Alcotest.test_case "mini_fbw verifies" `Quick test_mini_fbw;
+    Alcotest.test_case "filter_bank verifies" `Quick test_filter_bank;
+    Alcotest.test_case "buggy_demo alarms" `Quick test_buggy_demo;
+    Alcotest.test_case "buggy_demo concrete" `Quick test_buggy_demo_concrete_agreement;
+  ]

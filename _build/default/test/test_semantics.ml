@@ -1,0 +1,211 @@
+(* C semantics edge cases (Sect. 5.3: "the semantics of C as well as
+   some information about the target environment"), checked three ways:
+   the concrete interpreter computes the expected value, the analyzer
+   proves the matching assertion, and both agree on error behaviour. *)
+
+module C = Astree_core
+module F = Astree_frontend
+
+let proves src =
+  Alcotest.(check int) "proved" 0
+    (C.Analysis.n_alarms (C.Analysis.analyze_string src))
+
+let finishes src =
+  let ast = F.Parser.parse_string ~file:"<t>" src in
+  let p = F.Typecheck.elab_program ast in
+  match F.Interp.run ~max_ticks:4 p with
+  | F.Interp.Finished -> ()
+  | F.Interp.Error (k, l) ->
+      Alcotest.failf "concrete error %a at %a" F.Interp.pp_error_kind k
+        F.Loc.pp l
+
+let both src = proves src; finishes src
+
+(* C division truncates toward zero; the remainder has the dividend's
+   sign *)
+let test_division_truncation () =
+  both
+    {|
+int main(void) {
+  int a; int b; int c; int d;
+  a = -7 / 2;    __astree_assert(a == -3);
+  b = 7 / -2;    __astree_assert(b == -3);
+  c = -7 % 2;    __astree_assert(c == -1);
+  d = 7 % -2;    __astree_assert(d == 1);
+  while (1) { __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+
+let test_float_to_int_truncation () =
+  both
+    {|
+int main(void) {
+  int a; int b;
+  a = (int)2.9f;   __astree_assert(a == 2);
+  b = (int)-2.9f;  __astree_assert(b == -2);
+  while (1) { __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+
+let test_integer_promotion () =
+  (* char/short promote to int before arithmetic: no intermediate
+     overflow at short range *)
+  both
+    {|
+int main(void) {
+  short a; short b; int c;
+  a = 30000; b = 30000;
+  c = a + b;                /* computed in int: fine */
+  __astree_assert(c == 60000);
+  while (1) { __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+
+let test_char_range () =
+  both
+    {|
+int main(void) {
+  char c;
+  c = 'A';
+  __astree_assert(c == 65);
+  c = c + 1;
+  __astree_assert(c == 66);
+  while (1) { __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+
+let test_unsigned_comparison () =
+  both
+    {|
+int main(void) {
+  unsigned int u;
+  u = 5;
+  u = u - 3;
+  __astree_assert(u == 2);
+  while (1) { __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+
+let test_shift_semantics () =
+  both
+    {|
+int main(void) {
+  int a; int b;
+  a = 1 << 10;    __astree_assert(a == 1024);
+  b = -16 >> 2;   __astree_assert(b == -4);   /* arithmetic shift */
+  while (1) { __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+
+let test_single_precision_rounding () =
+  (* 0.1f is not 0.1: the analyzer and the interpreter agree on the
+     binary32 value *)
+  both
+    {|
+float f;
+int main(void) {
+  f = 0.1f;
+  __astree_assert(f > 0.0999999f && f < 0.1000001f);
+  f = f * 10.0f;
+  __astree_assert(f > 0.999999f && f < 1.000001f);
+  while (1) { __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+
+let test_double_vs_single () =
+  both
+    {|
+double d;
+float f;
+int main(void) {
+  d = 1.0 / 3.0;
+  f = (float)d;
+  __astree_assert(f > 0.333333f && f < 0.333334f);
+  __astree_assert(d > 0.333333333333 && d < 0.333333333334);
+  while (1) { __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+
+let test_ternary_and_comma () =
+  both
+    {|
+int main(void) {
+  int a; int b;
+  a = (3 > 2) ? 10 : 20;
+  __astree_assert(a == 10);
+  b = (a = 5, a + 1);
+  __astree_assert(b == 6);
+  __astree_assert(a == 5);
+  while (1) { __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+
+let test_compound_assignment_and_incr () =
+  both
+    {|
+int main(void) {
+  int x; int y;
+  x = 10;
+  x += 5;  __astree_assert(x == 15);
+  x -= 3;  __astree_assert(x == 12);
+  x *= 2;  __astree_assert(x == 24);
+  x /= 5;  __astree_assert(x == 4);
+  y = x++; __astree_assert(y == 4);
+  __astree_assert(x == 5);
+  y = ++x; __astree_assert(y == 6);
+  while (1) { __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+
+let test_short_circuit_no_spurious_error () =
+  (* && must not evaluate its rhs when the lhs is false: the division by
+     zero is unreachable *)
+  both
+    {|
+int main(void) {
+  int z; int ok;
+  z = 0;
+  ok = (z != 0 && 10 / z > 1);
+  __astree_assert(ok == 0);
+  while (1) { __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+
+let test_hex_and_char_literals () =
+  both
+    {|
+int main(void) {
+  int a; int b;
+  a = 0xFF;      __astree_assert(a == 255);
+  b = '\n';      __astree_assert(b == 10);
+  while (1) { __astree_wait_for_clock(); }
+  return 0;
+}
+|}
+
+let suite =
+  [
+    Alcotest.test_case "division truncation" `Quick test_division_truncation;
+    Alcotest.test_case "float->int truncation" `Quick test_float_to_int_truncation;
+    Alcotest.test_case "integer promotion" `Quick test_integer_promotion;
+    Alcotest.test_case "char range" `Quick test_char_range;
+    Alcotest.test_case "unsigned arithmetic" `Quick test_unsigned_comparison;
+    Alcotest.test_case "shift semantics" `Quick test_shift_semantics;
+    Alcotest.test_case "binary32 rounding" `Quick test_single_precision_rounding;
+    Alcotest.test_case "double vs single" `Quick test_double_vs_single;
+    Alcotest.test_case "ternary and comma" `Quick test_ternary_and_comma;
+    Alcotest.test_case "compound assignment, ++/--" `Quick test_compound_assignment_and_incr;
+    Alcotest.test_case "short-circuit evaluation" `Quick test_short_circuit_no_spurious_error;
+    Alcotest.test_case "hex and char literals" `Quick test_hex_and_char_literals;
+  ]

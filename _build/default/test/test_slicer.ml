@@ -1,0 +1,136 @@
+(* Slicer tests (Sect. 3.3). *)
+
+module F = Astree_frontend
+module S = Astree_slicer
+module C = Astree_core
+
+let compile src =
+  let ast = F.Parser.parse_string ~file:"<t>" src in
+  F.Typecheck.elab_program ast
+
+let src =
+  {|
+volatile int raw;
+int a;
+int b;
+int c;
+int unrelated;
+int main(void) {
+  __astree_input_range(raw, 0.0, 10.0);
+  while (1) {
+    int x;
+    x = raw;
+    a = x + 1;
+    unrelated = 42;
+    b = a * 2;
+    if (b > 10) {
+      c = 100 / (x - 5);
+    }
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+(* find the division statement's location through the analyzer's alarm *)
+let alarm_loc () =
+  let r = C.Analysis.analyze_string src in
+  match
+    List.find_opt
+      (fun (al : C.Alarm.t) -> al.C.Alarm.a_kind = C.Alarm.Div_by_zero)
+      r.C.Analysis.r_alarms
+  with
+  | Some al -> al.C.Alarm.a_loc
+  | None -> Alcotest.fail "expected a division alarm"
+
+(* the statement location containing a given expression location *)
+let stmt_loc_of_line (g : S.Depgraph.t) line =
+  let found = ref None in
+  Array.iter
+    (fun (n : S.Depgraph.node) ->
+      if n.S.Depgraph.n_stmt.F.Tast.sloc.F.Loc.line = line then
+        found := Some n.S.Depgraph.n_stmt.F.Tast.sloc)
+    g.S.Depgraph.nodes;
+  !found
+
+let slice_stmts () =
+  let p = compile src in
+  let g = S.Depgraph.build p in
+  let aloc = alarm_loc () in
+  (* the alarm location is inside the assignment statement on line 17 *)
+  let crit_loc =
+    match stmt_loc_of_line g aloc.F.Loc.line with
+    | Some l -> l
+    | None -> aloc
+  in
+  let sl = S.Slicer.slice g { S.Slicer.c_loc = crit_loc; c_vars = None } in
+  (p, g, sl)
+
+let test_slice_contains_dependencies () =
+  let _, _, sl = slice_stmts () in
+  let lines =
+    List.map (fun (n : S.Depgraph.node) -> n.S.Depgraph.n_stmt.F.Tast.sloc.F.Loc.line) sl.S.Slicer.s_nodes
+  in
+  (* x = raw (line 11), a = x+1 (12), b = a*2 (14), if (15), division (16) *)
+  Alcotest.(check bool) "x def" true (List.mem 11 lines);
+  Alcotest.(check bool) "a def" true (List.mem 12 lines);
+  Alcotest.(check bool) "b def" true (List.mem 14 lines);
+  Alcotest.(check bool) "control" true (List.mem 15 lines)
+
+let test_slice_excludes_unrelated () =
+  let _, _, sl = slice_stmts () in
+  let lines =
+    List.map (fun (n : S.Depgraph.node) -> n.S.Depgraph.n_stmt.F.Tast.sloc.F.Loc.line) sl.S.Slicer.s_nodes
+  in
+  Alcotest.(check bool) "unrelated excluded" false (List.mem 13 lines)
+
+let test_abstract_slice_smaller () =
+  let p = compile src in
+  let g = S.Depgraph.build p in
+  let aloc = alarm_loc () in
+  let crit_loc =
+    match stmt_loc_of_line g aloc.F.Loc.line with Some l -> l | None -> aloc
+  in
+  let crit = { S.Slicer.c_loc = crit_loc; c_vars = None } in
+  let full = S.Slicer.slice g crit in
+  (* abstract slice following only x (the variable we lack information
+     about): a and b drop out *)
+  let interesting (v : F.Tast.var) = v.F.Tast.v_orig = "x" || v.F.Tast.v_orig = "raw" in
+  let abs = S.Slicer.abstract_slice g ~interesting crit in
+  Alcotest.(check bool) "smaller" true
+    (S.Slicer.slice_size abs <= S.Slicer.slice_size full);
+  let lines =
+    List.map (fun (n : S.Depgraph.node) -> n.S.Depgraph.n_stmt.F.Tast.sloc.F.Loc.line) abs.S.Slicer.s_nodes
+  in
+  Alcotest.(check bool) "keeps x def" true (List.mem 11 lines);
+  Alcotest.(check bool) "drops a def" false (List.mem 12 lines)
+
+let test_graph_size () =
+  let p = compile src in
+  let g = S.Depgraph.build p in
+  Alcotest.(check bool) "nodes" true (S.Depgraph.size g > 5)
+
+let test_defs_and_uses () =
+  let p = compile src in
+  let g = S.Depgraph.build p in
+  (* some node defines a and uses x *)
+  let found = ref false in
+  Array.iter
+    (fun (n : S.Depgraph.node) ->
+      let defs = F.Tast.VarSet.elements n.S.Depgraph.n_defs in
+      let uses = F.Tast.VarSet.elements n.S.Depgraph.n_uses in
+      if
+        List.exists (fun (v : F.Tast.var) -> v.F.Tast.v_orig = "a") defs
+        && List.exists (fun (v : F.Tast.var) -> v.F.Tast.v_orig = "x") uses
+      then found := true)
+    g.S.Depgraph.nodes;
+  Alcotest.(check bool) "def/use" true !found
+
+let suite =
+  [
+    Alcotest.test_case "slice contains dependencies" `Quick test_slice_contains_dependencies;
+    Alcotest.test_case "slice excludes unrelated" `Quick test_slice_excludes_unrelated;
+    Alcotest.test_case "abstract slice is smaller" `Quick test_abstract_slice_smaller;
+    Alcotest.test_case "graph size" `Quick test_graph_size;
+    Alcotest.test_case "defs and uses" `Quick test_defs_and_uses;
+  ]
