@@ -18,6 +18,7 @@ module C = Astree_core
 module D = Astree_domains
 module F = Astree_frontend
 module G = Astree_gen
+module P = Astree_parallel
 
 let section title =
   Fmt.pr "@.==============================================================@.";
@@ -432,6 +433,72 @@ int main(void) {
     (!worst <= !proven)
 
 (* ------------------------------------------------------------------ *)
+(* E10 - parallel analysis: the two job axes of lib/parallel           *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  section
+    "E10: parallel analysis (-j n), process pool + deterministic merge\n\
+     claim checked: every -j n fingerprint equals the -j 1 fingerprint;\n\
+     speedup is reported against the machine's actual core count";
+  Fmt.pr "cores available: %d@." (P.Scheduler.default_jobs ());
+  (* axis (b): whole-program batch jobs — a domain-refinement ladder
+     over one family member, one full analysis per rung *)
+  let g = G.Generator.member ~kloc:2.0 () in
+  let base = cfg_with_partitions g in
+  let ladder =
+    [
+      ("full", base);
+      ("no-oct", { base with C.Config.use_octagons = false });
+      ("no-ell", { base with C.Config.use_ellipsoids = false });
+      ("no-dt", { base with C.Config.use_decision_trees = false });
+      ("no-clock", { base with C.Config.use_clocked = false });
+      ( "no-thresholds",
+        { base with C.Config.widening_thresholds = D.Thresholds.none } );
+    ]
+  in
+  let items =
+    List.map
+      (fun (label, cfg) ->
+        P.Scheduler.batch_job ~label ~cfg
+          (P.Scheduler.Bs_sources [ ("member.c", g.G.Generator.source) ]))
+      ladder
+  in
+  let fingerprints rs = List.map (fun (_, r) -> P.Merge.fingerprint r) rs in
+  let seq, t1 = time (fun () -> P.Scheduler.analyze_batch ~jobs:1 items) in
+  let fp1 = fingerprints seq in
+  Fmt.pr "@.batch axis: %d-rung refinement ladder on a %.1f kLOC member@."
+    (List.length ladder)
+    (float_of_int g.G.Generator.n_lines /. 1000.);
+  Fmt.pr "%6s %10s %9s %10s@." "jobs" "time(s)" "speedup" "identical";
+  Fmt.pr "%6d %10.2f %9s %10s@." 1 t1 "1.00x" "-";
+  List.iter
+    (fun jobs ->
+      let rs, dt = time (fun () -> P.Scheduler.analyze_batch ~jobs items) in
+      Fmt.pr "%6d %10.2f %8.2fx %10b@." jobs dt (t1 /. dt)
+        (fingerprints rs = fp1))
+    [ 2; 4; 8 ];
+  (* axis (a): intra-program disjunct jobs on the same member, with the
+     production job-size gate (small disjuncts stay in-process) *)
+  let p, _ = C.Analysis.compile [ ("member.c", g.G.Generator.source) ] in
+  let r1, s1 =
+    time (fun () -> C.Analysis.analyze ~cfg:{ base with C.Config.jobs = 1 } p)
+  in
+  let f1 = P.Merge.fingerprint r1 in
+  Fmt.pr "@.disjunct axis: same member, branch/partition jobs@.";
+  Fmt.pr "%6s %10s %9s %10s@." "jobs" "time(s)" "speedup" "identical";
+  Fmt.pr "%6d %10.2f %9s %10s@." 1 s1 "1.00x" "-";
+  List.iter
+    (fun jobs ->
+      let r, dt =
+        time (fun () ->
+            P.Scheduler.analyze ~cfg:{ base with C.Config.jobs = jobs } p)
+      in
+      Fmt.pr "%6d %10.2f %8.2fx %10b@." jobs dt (s1 /. dt)
+        (P.Merge.fingerprint r = f1))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -550,5 +617,6 @@ let () =
   if want "e7" then e7 ();
   if want "e8" then e8 ();
   if want "e9" then e9 ();
+  if want "e10" then e10 ();
   if want "micro" then micro ();
   Fmt.pr "@.done.@."

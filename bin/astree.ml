@@ -19,15 +19,21 @@ let read_file path =
   s
 
 let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
-    partitioned max_dt_bools useful_packs dump_invariants dump_census
+    partitioned max_dt_bools useful_packs jobs dump_invariants dump_census
     slice_alarms verbose =
   if files = [] then `Error (false, "no input files")
   else
     try
+      let jobs =
+        if jobs = 0 then Astree_parallel.Scheduler.default_jobs ()
+        else max 1 jobs
+      in
+      if jobs > 1 then Astree_parallel.Scheduler.register ();
       let cfg =
         {
           C.Config.default with
-          C.Config.use_octagons = not no_oct;
+          C.Config.jobs;
+          use_octagons = not no_oct;
           use_ellipsoids = not no_ell;
           use_decision_trees = not no_dt;
           use_clocked = not no_clock;
@@ -51,15 +57,23 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
         if partitioned <> [] then cfg
         else
           let marked =
+            (* a file may carry several markers: collect them all *)
             List.concat_map
               (fun (_, src) ->
                 let re = Str.regexp "astree-partition: \\([^*]*\\)\\*/" in
-                try
-                  ignore (Str.search_forward re src 0);
-                  String.split_on_char ' '
-                    (String.trim (Str.matched_group 1 src))
-                with Not_found -> [])
+                let rec scan pos acc =
+                  match Str.search_forward re src pos with
+                  | _ ->
+                      let fns =
+                        String.split_on_char ' '
+                          (String.trim (Str.matched_group 1 src))
+                      in
+                      scan (Str.match_end ()) (List.rev_append fns acc)
+                  | exception Not_found -> List.rev acc
+                in
+                scan 0 [])
               sources
+            |> List.sort_uniq String.compare
           in
           if marked = [] then cfg
           else { cfg with C.Config.partitioned_functions = marked }
@@ -125,6 +139,7 @@ let cmd =
         $ Arg.(value & opt (list string) [] & info [ "partition" ] ~doc:"Functions analyzed with trace partitioning (Sect. 7.1.5)")
         $ Arg.(value & opt int 3 & info [ "max-dtree-bools" ] ~doc:"Booleans per decision-tree pack (Sect. 7.2.3)")
         $ Arg.(value & opt (list int) [] & info [ "useful-packs" ] ~doc:"Octagon pack ids to keep (Sect. 7.2.2)")
+        $ Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc:"Worker processes for the parallel analysis (1 = sequential, 0 = one per core)")
         $ flag "dump-invariants" "Print loop invariants"
         $ flag "census" "Print the main-loop invariant census (Sect. 9.4.1)"
         $ flag "slice" "Print a backward slice for each alarm (Sect. 3.3)"

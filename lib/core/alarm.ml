@@ -60,3 +60,19 @@ let to_list (c : collector) : t list =
   Hashtbl.fold (fun _ a acc -> a :: acc) c.alarms [] |> List.sort compare
 
 let count (c : collector) : int = Hashtbl.length c.alarms
+
+(** Drop every recorded alarm (the enabled flag is kept).  Used by
+    parallel workers to isolate the alarms of each job. *)
+let reset (c : collector) : unit = c.alarms <- Hashtbl.create 64
+
+(** Merge alarms produced elsewhere (a worker process) into [c],
+    irrespective of [c.enabled]: the emitting job already ran under the
+    right checking mode.  Keeps the first alarm per (kind, location), so
+    merging job deltas in job order reproduces the sequential
+    deduplication exactly. *)
+let absorb (c : collector) (delta : t list) : unit =
+  List.iter
+    (fun (a : t) ->
+      let key = (a.a_kind, a.a_loc) in
+      if not (Hashtbl.mem c.alarms key) then Hashtbl.replace c.alarms key a)
+    delta

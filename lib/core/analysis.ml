@@ -32,10 +32,18 @@ let useful_octagon_packs (r : result) : int list =
   Hashtbl.fold (fun id () acc -> id :: acc) r.r_actx.Transfer.oct_useful []
   |> List.sort Int.compare
 
-(** Analyze a typed program. *)
-let analyze ?(cfg = Config.default) (p : F.Tast.program) : result =
+(** Installed by [Astree_parallel.Scheduler.register]: analyses with
+    [Config.jobs > 1] are routed through the parallel subsystem.  A hook
+    rather than a direct call so the core library does not depend on the
+    process-pool machinery. *)
+let parallel_driver : (Config.t -> F.Tast.program -> result) option ref =
+  ref None
+
+(** Analyze a typed program against an already-prepared context (the
+    parallel scheduler builds and pre-fills the context before forking
+    its workers, then runs the iterator through this entry point). *)
+let analyze_prepared (actx : Transfer.actx) (p : F.Tast.program) : result =
   let t0 = Unix.gettimeofday () in
-  let actx = Transfer.make_actx cfg p in
   let final = Iterator.run actx in
   let t1 = Unix.gettimeofday () in
   let alarms = Alarm.to_list actx.Transfer.alarms in
@@ -56,6 +64,13 @@ let analyze ?(cfg = Config.default) (p : F.Tast.program) : result =
         s_time = t1 -. t0;
       };
   }
+
+(** Analyze a typed program, dispatching to the parallel subsystem when
+    [cfg.jobs > 1] and a driver is registered. *)
+let analyze ?(cfg = Config.default) (p : F.Tast.program) : result =
+  match !parallel_driver with
+  | Some driver when cfg.Config.jobs > 1 -> driver cfg p
+  | _ -> analyze_prepared (Transfer.make_actx cfg p) p
 
 (** Frontend pipeline: preprocess, parse, link, type-check, simplify. *)
 let compile ?(target = F.Ctypes.default_target) ?(main = "main")

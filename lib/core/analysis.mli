@@ -26,8 +26,19 @@ val n_alarms : result -> int
     [Config.useful_packs_only] (Sect. 7.2.2). *)
 val useful_octagon_packs : result -> int list
 
-(** Analyze an already-compiled program. *)
+(** Analyze an already-compiled program.  When [cfg.jobs > 1] and the
+    parallel subsystem has registered itself, the analysis is dispatched
+    to its process pool (results are identical to the sequential run). *)
 val analyze : ?cfg:Config.t -> Astree_frontend.Tast.program -> result
+
+(** Analyze against an already-prepared context (used by the parallel
+    scheduler, which pre-fills the context before forking workers). *)
+val analyze_prepared : Transfer.actx -> Astree_frontend.Tast.program -> result
+
+(** Parallel-analysis driver hook, installed by
+    [Astree_parallel.Scheduler.register]. *)
+val parallel_driver :
+  (Config.t -> Astree_frontend.Tast.program -> result) option ref
 
 (** Frontend pipeline: preprocess, parse, link, type-check, simplify.
     Sources are (filename, contents) pairs. *)

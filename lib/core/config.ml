@@ -57,6 +57,12 @@ type t = {
   naive_environments : bool;
       (** use the naive array-based environments instead of sharable
           functional maps — only for the E5 ablation *)
+  (* ---- parallel analysis (Astree_parallel, Monniaux 05 direction) -- *)
+  jobs : int;
+      (** number of worker processes; [1] keeps the analysis strictly
+          sequential, [n > 1] dispatches independent jobs (trace
+          partitions, dispatch branches, whole-program batch items) to a
+          fork-based pool whose results are merged deterministically *)
 }
 
 let default : t =
@@ -83,6 +89,7 @@ let default : t =
       (* 10 h of continuous operation at 100 Hz, a typical flight bound *)
     expand_array_max = 64;
     naive_environments = false;
+    jobs = 1;
   }
 
 (** The baseline configuration corresponding to the analyzer of [5] the

@@ -47,6 +47,9 @@ type t = {
           are shrunk into a single cell (Sect. 6.1.1) *)
   naive_environments : bool;
       (** naive array environments, for the E5 ablation only *)
+  (* ---- parallel analysis (Astree_parallel) ------------------------- *)
+  jobs : int;
+      (** worker processes for the parallel subsystem; [1] = sequential *)
 }
 
 (** All domains and strategies on — the fully refined analyzer. *)

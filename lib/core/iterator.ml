@@ -61,6 +61,93 @@ let cap_partitions (a : Transfer.actx) (sts : Astate.t list) : Astate.t list =
     keep @ [ join_states over ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel dispatch hook (Astree_parallel, after Monniaux 05)          *)
+(* ------------------------------------------------------------------ *)
+
+(* The analysis parallelizes along the disjunctions it already
+   manipulates: the trace-partition disjuncts flowing into a call and
+   the two branches of a conditional are analyzed independently from
+   their own entry states and merged by abstract join — exactly the
+   joins the sequential iterator performs, in the same order, so the
+   parallel result is identical by construction.
+
+   The iterator stays process-agnostic: when [par_hook] is installed
+   (by Astree_parallel.Scheduler in the parent process) eligible
+   disjunct maps are handed to it as self-contained jobs; a [None]
+   reply means the job was lost (crashed or timed-out worker, already
+   retried) and the iterator recomputes it in-process, so parallel
+   analysis can neither hang nor lose soundness. *)
+
+(** A unit of work shipped to a worker: pure data, marshalled. *)
+type par_work =
+  | Pw_block of block  (** execute a block (a conditional branch) *)
+  | Pw_call of { dst : var option; fname : string; args : arg list }
+
+type par_job = {
+  pj_work : par_work;
+  pj_binds : Transfer.binds;
+  pj_stack : string list;
+  pj_part : bool;
+  pj_state : Astate.t;  (** the single entry state of the job *)
+  pj_checking : bool;   (** alarm-collector mode at the dispatch point *)
+}
+
+(** Side effects of a job on the analysis context, replayed by the
+    parent in job order so that merged results are deterministic. *)
+type par_delta = {
+  pd_alarms : Alarm.t list;
+  pd_invariants : (int * Astate.t) list;  (** loop id -> head invariant *)
+  pd_joins : int;
+  pd_oct_useful : int list;
+}
+
+type par_reply = { pr_out : outcome; pr_delta : par_delta }
+
+let par_hook : (par_job list -> par_reply option list) option ref = ref None
+
+(** Minimal statement count of a block before it is worth shipping to a
+    worker (marshalling an abstract state is not free). *)
+let par_min_stmts = ref 24
+
+(* block sizes are memoized by the location of the block's first
+   statement (loops revisit the same blocks many times): gating only, a
+   collision can at worst mis-route a job *)
+let size_memo : (F.Loc.t, int) Hashtbl.t = Hashtbl.create 256
+
+let par_block_size (b : block) : int =
+  match b with
+  | [] -> 0
+  | s0 :: _ -> (
+      match Hashtbl.find_opt size_memo s0.sloc with
+      | Some n -> n
+      | None ->
+          let n = block_size b in
+          Hashtbl.replace size_memo s0.sloc n;
+          n)
+
+let apply_delta (a : Transfer.actx) (d : par_delta) : unit =
+  Alarm.absorb a.Transfer.alarms d.pd_alarms;
+  List.iter
+    (fun (id, st) -> Hashtbl.replace a.Transfer.invariants id st)
+    d.pd_invariants;
+  List.iter
+    (fun id -> Hashtbl.replace a.Transfer.oct_useful id ())
+    d.pd_oct_useful;
+  a.Transfer.join_count <- a.Transfer.join_count + d.pd_joins
+
+let mk_job (a : Transfer.actx) ~(binds : Transfer.binds)
+    ~(stack : string list) ~(part : bool) (work : par_work) (st : Astate.t) :
+    par_job =
+  {
+    pj_work = work;
+    pj_binds = binds;
+    pj_stack = stack;
+    pj_part = part;
+    pj_state = st;
+    pj_checking = a.Transfer.alarms.Alarm.enabled;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Statements                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -111,13 +198,65 @@ let rec exec_stmt (a : Transfer.actx) ~(part : bool) ~(stack : string list)
           in
           { no_flow with o_ret = join_states sts; o_retv = retv }
       | Sif (c, tb, fb) ->
+          (* both branches are analyzed independently from their guarded
+             entry states and merged by join: the disjunction the
+             parallel subsystem splits along (axis (a)) *)
+          let run_both st =
+            let st_t = Transfer.guard a st binds c true in
+            let st_f = Transfer.guard a st binds c false in
+            let ot = exec_block a ~part ~stack binds [ st_t ] tb in
+            let of_ = exec_block a ~part ~stack binds [ st_f ] fb in
+            (ot, of_)
+          in
+          let pairs =
+            match !par_hook with
+            | Some dispatch
+              when par_block_size tb >= !par_min_stmts
+                   && par_block_size fb >= !par_min_stmts ->
+                let guarded =
+                  List.map
+                    (fun st ->
+                      ( Transfer.guard a st binds c true,
+                        Transfer.guard a st binds c false ))
+                    sts
+                in
+                let jobs =
+                  List.concat_map
+                    (fun (st_t, st_f) ->
+                      [
+                        mk_job a ~binds ~stack ~part (Pw_block tb) st_t;
+                        mk_job a ~binds ~stack ~part (Pw_block fb) st_f;
+                      ])
+                    guarded
+                in
+                let replies = dispatch jobs in
+                let rec pair_up gs rs =
+                  match (gs, rs) with
+                  | [], [] -> []
+                  | (st_t, st_f) :: gs', rt :: rf :: rs' ->
+                      let ot =
+                        match rt with
+                        | Some r ->
+                            apply_delta a r.pr_delta;
+                            r.pr_out
+                        | None -> exec_block a ~part ~stack binds [ st_t ] tb
+                      in
+                      let of_ =
+                        match rf with
+                        | Some r ->
+                            apply_delta a r.pr_delta;
+                            r.pr_out
+                        | None -> exec_block a ~part ~stack binds [ st_f ] fb
+                      in
+                      (ot, of_) :: pair_up gs' rs'
+                  | _ -> invalid_arg "Iterator.par_hook: reply arity mismatch"
+                in
+                pair_up guarded replies
+            | _ -> List.map run_both sts
+          in
           let outs =
             List.map
-              (fun st ->
-                let st_t = Transfer.guard a st binds c true in
-                let st_f = Transfer.guard a st binds c false in
-                let ot = exec_block a ~part ~stack binds [ st_t ] tb in
-                let of_ = exec_block a ~part ~stack binds [ st_f ] fb in
+              (fun (ot, of_) ->
                 a.Transfer.join_count <- a.Transfer.join_count + 1;
                 {
                   o_norm =
@@ -129,7 +268,7 @@ let rec exec_stmt (a : Transfer.actx) ~(part : bool) ~(stack : string list)
                   o_ret = Astate.join ot.o_ret of_.o_ret;
                   o_retv = join_itv ot.o_retv of_.o_retv;
                 })
-              sts
+              pairs
           in
           List.fold_left
             (fun acc o ->
@@ -348,65 +487,95 @@ and exec_call (a : Transfer.actx) ~(stack : string list)
           (Analysis_error
              (Fmt.str "recursion detected through %s (not in the subset)"
                 fname));
-      let stack = fname :: stack in
-      let partitioned =
-        List.mem fname a.Transfer.cfg.Config.partitioned_functions
-      in
-      let analyze_one st =
-        (* bind parameters *)
-        let st, callee_binds =
-          List.fold_left2
-            (fun (st, cb) (p : param) (arg : arg) ->
-              match (p, arg) with
-              | Pval v, Aval e ->
-                  (Transfer.local_decl a st binds v (Some e), cb)
-              | Pref v, Aref actual ->
-                  let resolved = Transfer.resolve_lval binds actual in
-                  (st, VarMap.add v resolved cb)
-              | _ ->
-                  raise
-                    (Analysis_error
-                       (Fmt.str "argument mismatch calling %s" fname)))
-            (st, VarMap.empty) fd.fd_params args
-        in
-        let o =
-          exec_block a ~part:partitioned ~stack callee_binds [ st ] fd.fd_body
-        in
-        (* the traces are merged at the return point of the function
-           (Sect. 7.1.5) *)
-        let exit_env = Astate.join (join_states o.o_norm) o.o_ret in
-        let retv =
-          match fd.fd_ret with
-          | F.Ctypes.Tvoid -> D.Itv.Bot
-          | F.Ctypes.Tscalar sc ->
-              (* falling off the end without a return gives an undefined
-                 value: the whole type range *)
-              if Astate.is_bot (join_states o.o_norm) then o.o_retv
-              else
-                join_itv o.o_retv
-                  (Avalue.top_of_scalar a.Transfer.prog.p_target sc)
-          | _ -> D.Itv.Bot
-        in
-        let st' =
-          match (dst, retv) with
-          | Some d, retv when not (D.Itv.is_bot retv) ->
-              let id = Transfer.var_cell a d in
-              {
-                exit_env with
-                Astate.env =
-                  Env.set exit_env.Astate.env id
-                    (Avalue.of_itv ~use_clocked:a.Transfer.cfg.Config.use_clocked
-                       ~clock:exit_env.Astate.clock retv);
-              }
-          | Some d, _ ->
-              (* no return value reached: leave dst at its type range *)
-              Transfer.local_decl a exit_env binds d None
-          | None, _ -> exit_env
-        in
-        ignore s;
-        st'
-      in
-      { no_flow with o_norm = List.map analyze_one (live sts) }
+      ignore s;
+      let sts = live sts in
+      let run st = exec_call_one a ~stack binds st dst fname fd args in
+      (* trace-partition disjuncts flowing into a call are analyzed
+         through the callee independently: the prime intra-program
+         parallel axis (each worker runs one disjunct) *)
+      (match !par_hook with
+      | Some dispatch
+        when List.compare_length_with sts 2 >= 0
+             && par_block_size fd.fd_body >= !par_min_stmts ->
+          let jobs =
+            List.map
+              (fun st ->
+                mk_job a ~binds ~stack ~part:false
+                  (Pw_call { dst; fname; args })
+                  st)
+              sts
+          in
+          let replies = dispatch jobs in
+          let states =
+            List.map2
+              (fun st reply ->
+                match reply with
+                | Some r -> (
+                    apply_delta a r.pr_delta;
+                    match r.pr_out.o_norm with
+                    | [ st' ] -> st'
+                    | sts' -> join_states sts')
+                | None -> run st)
+              sts replies
+          in
+          { no_flow with o_norm = states }
+      | _ -> { no_flow with o_norm = List.map run sts })
+
+(** Polyvariant analysis of one call from one entry state: bind the
+    parameters, analyze the callee body (with trace partitioning if the
+    function is selected), merge the traces at the return point and
+    write the return value into [dst].  Also the worker-side entry for
+    [Pw_call] jobs. *)
+and exec_call_one (a : Transfer.actx) ~(stack : string list)
+    (binds : Transfer.binds) (st : Astate.t) (dst : var option)
+    (fname : string) (fd : fundef) (args : arg list) : Astate.t =
+  let stack = fname :: stack in
+  let partitioned =
+    List.mem fname a.Transfer.cfg.Config.partitioned_functions
+  in
+  (* bind parameters *)
+  let st, callee_binds =
+    List.fold_left2
+      (fun (st, cb) (p : param) (arg : arg) ->
+        match (p, arg) with
+        | Pval v, Aval e -> (Transfer.local_decl a st binds v (Some e), cb)
+        | Pref v, Aref actual ->
+            let resolved = Transfer.resolve_lval binds actual in
+            (st, VarMap.add v resolved cb)
+        | _ ->
+            raise
+              (Analysis_error (Fmt.str "argument mismatch calling %s" fname)))
+      (st, VarMap.empty) fd.fd_params args
+  in
+  let o = exec_block a ~part:partitioned ~stack callee_binds [ st ] fd.fd_body in
+  (* the traces are merged at the return point of the function
+     (Sect. 7.1.5) *)
+  let exit_env = Astate.join (join_states o.o_norm) o.o_ret in
+  let retv =
+    match fd.fd_ret with
+    | F.Ctypes.Tvoid -> D.Itv.Bot
+    | F.Ctypes.Tscalar sc ->
+        (* falling off the end without a return gives an undefined
+           value: the whole type range *)
+        if Astate.is_bot (join_states o.o_norm) then o.o_retv
+        else
+          join_itv o.o_retv (Avalue.top_of_scalar a.Transfer.prog.p_target sc)
+    | _ -> D.Itv.Bot
+  in
+  match (dst, retv) with
+  | Some d, retv when not (D.Itv.is_bot retv) ->
+      let id = Transfer.var_cell a d in
+      {
+        exit_env with
+        Astate.env =
+          Env.set exit_env.Astate.env id
+            (Avalue.of_itv ~use_clocked:a.Transfer.cfg.Config.use_clocked
+               ~clock:exit_env.Astate.clock retv);
+      }
+  | Some d, _ ->
+      (* no return value reached: leave dst at its type range *)
+      Transfer.local_decl a exit_env binds d None
+  | None, _ -> exit_env
 
 (* ------------------------------------------------------------------ *)
 (* Whole-program analysis                                              *)
@@ -430,3 +599,55 @@ let run (a : Transfer.actx) : Astate.t =
           VarMap.empty [ st0 ] fd.fd_body
       in
       Astate.join (join_states o.o_norm) o.o_ret
+
+(* ------------------------------------------------------------------ *)
+(* Worker-side job execution                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Execute one parallel job against (a forked copy of) the analysis
+    context and package the outcome with the context side effects.  The
+    collector, invariant table and useful-pack table are reset first so
+    the delta contains exactly this job's contribution; the parent
+    replays deltas in job order, which reproduces the sequential
+    bookkeeping exactly. *)
+let par_run_job (a : Transfer.actx) (job : par_job) : par_reply =
+  par_hook := None (* workers are strictly sequential: no re-dispatch *);
+  a.Transfer.alarms.Alarm.enabled <- job.pj_checking;
+  Alarm.reset a.Transfer.alarms;
+  Hashtbl.reset a.Transfer.invariants;
+  Hashtbl.reset a.Transfer.oct_useful;
+  let joins0 = a.Transfer.join_count in
+  let out =
+    match job.pj_work with
+    | Pw_block b ->
+        exec_block a ~part:job.pj_part ~stack:job.pj_stack job.pj_binds
+          [ job.pj_state ] b
+    | Pw_call { dst; fname; args } -> (
+        match find_fun a.Transfer.prog fname with
+        | None ->
+            raise (Analysis_error (Fmt.str "call to unknown function %s" fname))
+        | Some fd ->
+            let st' =
+              exec_call_one a ~stack:job.pj_stack job.pj_binds job.pj_state
+                dst fname fd args
+            in
+            { no_flow with o_norm = [ st' ] })
+  in
+  let invariants =
+    Hashtbl.fold (fun id st acc -> (id, st) :: acc) a.Transfer.invariants []
+    |> List.sort (fun (x, _) (y, _) -> Int.compare x y)
+  in
+  let useful =
+    Hashtbl.fold (fun id () acc -> id :: acc) a.Transfer.oct_useful []
+    |> List.sort Int.compare
+  in
+  {
+    pr_out = out;
+    pr_delta =
+      {
+        pd_alarms = Alarm.to_list a.Transfer.alarms;
+        pd_invariants = invariants;
+        pd_joins = a.Transfer.join_count - joins0;
+        pd_oct_useful = useful;
+      };
+  }

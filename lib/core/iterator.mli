@@ -18,6 +18,58 @@ type outcome = {
   o_retv : Astree_domains.Itv.t;
 }
 
+(** {1 Parallel dispatch (Astree_parallel, after Monniaux 05)}
+
+    The iterator parallelizes along the disjunctions it already
+    manipulates: trace-partition disjuncts flowing into a call and the
+    two branches of a conditional, each analyzed from its own entry
+    state and merged by the very joins the sequential iterator performs
+    — so [-j n] results are identical to [-j 1] by construction.  The
+    iterator is process-agnostic: the parallel subsystem installs
+    [par_hook] in the parent; workers execute [par_run_job] on marshalled
+    jobs against their forked copy of the context. *)
+
+(** A unit of work shipped to a worker: pure (marshallable) data. *)
+type par_work =
+  | Pw_block of Astree_frontend.Tast.block
+      (** execute a block (a conditional branch) *)
+  | Pw_call of {
+      dst : Astree_frontend.Tast.var option;
+      fname : string;
+      args : Astree_frontend.Tast.arg list;
+    }
+
+type par_job = {
+  pj_work : par_work;
+  pj_binds : Transfer.binds;
+  pj_stack : string list;
+  pj_part : bool;
+  pj_state : Astate.t;  (** the single entry state of the job *)
+  pj_checking : bool;   (** alarm-collector mode at the dispatch point *)
+}
+
+(** Side effects of a job on the analysis context, replayed by the
+    parent in job order for deterministic merging. *)
+type par_delta = {
+  pd_alarms : Alarm.t list;
+  pd_invariants : (int * Astate.t) list;
+  pd_joins : int;
+  pd_oct_useful : int list;
+}
+
+type par_reply = { pr_out : outcome; pr_delta : par_delta }
+
+(** Dispatch function installed by the parallel scheduler in the parent
+    process.  Must reply in job order; a [None] reply (lost worker,
+    already retried) makes the iterator recompute the job in-process. *)
+val par_hook : (par_job list -> par_reply option list) option ref
+
+(** Minimal statement count of a block before it is worth dispatching. *)
+val par_min_stmts : int ref
+
+(** Worker-side execution of one job against the forked context. *)
+val par_run_job : Transfer.actx -> par_job -> par_reply
+
 val exec_stmt :
   Transfer.actx ->
   part:bool ->

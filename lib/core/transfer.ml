@@ -1540,3 +1540,34 @@ let initial_state (a : actx) : Astate.t =
         cells)
     a.prog.p_globals;
   Astate.make ~env:!env ~rel:(Relstate.top a.packs) ~clock
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-analysis support                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Intern every cell the analysis could ever touch, in deterministic
+    program order.  The parallel subsystem calls this before forking its
+    worker pool so that parent and workers share one complete, frozen
+    cell numbering: abstract states marshalled between processes then
+    agree on cell ids by construction. *)
+let prefill_cells (a : actx) : unit =
+  let intern_var (v : var) =
+    List.iter
+      (fun c -> ignore (Cell.intern a.intern c))
+      (Cell.cells_of_var ~structs:a.prog.p_structs
+         ~expand_array_max:a.cfg.Config.expand_array_max v)
+  in
+  List.iter (fun (v, _) -> intern_var v) a.prog.p_globals;
+  List.iter
+    (fun ((_, fd) : string * fundef) ->
+      List.iter
+        (function Pval v -> intern_var v | Pref _ -> ())
+        fd.fd_params;
+      iter_stmts
+        (fun s ->
+          match s.sdesc with
+          | Slocal (v, _) -> intern_var v
+          | Scall (Some v, _, _) -> intern_var v
+          | _ -> ())
+        fd.fd_body)
+    a.prog.p_funs

@@ -99,3 +99,8 @@ val wait : actx -> Astate.t -> Astate.t
 (** Initial abstract state: globals bound to their static initializers
     (Sect. 5.2). *)
 val initial_state : actx -> Astate.t
+
+(** Intern every cell the analysis could ever touch, in deterministic
+    program order.  Called by the parallel subsystem before forking
+    workers, so all processes share one frozen cell numbering. *)
+val prefill_cells : actx -> unit

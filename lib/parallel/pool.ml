@@ -1,0 +1,234 @@
+(** Fork-based worker pool.
+
+    The pool forks [jobs] worker processes that each inherit the
+    caller's heap (in particular a fully-built analysis context) by
+    copy-on-write, then serve marshalled jobs over a pair of pipes:
+
+    {v  parent --(Marshal job)--> worker --(Marshal reply)--> parent  v}
+
+    Jobs and replies must be pure data: marshalling uses the default
+    (closure-free) flags, so an accidentally captured closure fails the
+    job instead of silently shipping stale code.
+
+    Robustness: a worker that crashes (EOF on its pipe) or overruns the
+    per-job timeout is killed and respawned transparently; its job is
+    reported as [Error _] and the caller decides whether to retry or to
+    recompute in-process.  [map] always returns one result per job, in
+    job order, whatever the completion order — the deterministic-merge
+    guarantee of the subsystem starts here. *)
+
+type worker = {
+  w_pid : int;
+  w_oc : out_channel;  (** job channel, parent -> worker *)
+  w_ic : in_channel;   (** reply channel, worker -> parent *)
+  w_fd : Unix.file_descr;  (** raw reply fd, for [select] *)
+}
+
+type ('a, 'b) t = {
+  p_run : 'a -> 'b;
+  p_workers : worker array;
+  mutable p_alive : bool;
+}
+
+let size (p : ('a, 'b) t) = Array.length p.p_workers
+
+(* Test hook: when ASTREE_PAR_CHAOS is set, every worker process kills
+   itself on its first job, exercising the crash -> respawn -> retry ->
+   in-process-fallback ladder end to end. *)
+let chaos_enabled () =
+  match Sys.getenv_opt "ASTREE_PAR_CHAOS" with
+  | Some s -> s <> ""
+  | None -> false
+
+let worker_loop (f : 'a -> 'b) (ic : in_channel) (oc : out_channel) : unit =
+  let rec loop () =
+    match (try Some (Marshal.from_channel ic : 'a) with End_of_file -> None) with
+    | None -> ()
+    | Some job ->
+        if chaos_enabled () then Unix._exit 3;
+        let reply : ('b, string) result =
+          try Ok (f job) with e -> Error (Printexc.to_string e)
+        in
+        Marshal.to_channel oc reply [];
+        flush oc;
+        loop ()
+  in
+  loop ()
+
+(** Fork one worker.  [foreign] lists parent-side descriptors of the
+    other live workers: the child closes them so that closing a job
+    pipe in the parent always delivers EOF to its worker. *)
+let spawn (f : 'a -> 'b) (foreign : Unix.file_descr list) : worker =
+  let job_r, job_w = Unix.pipe () in
+  let res_r, res_w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close job_w;
+      Unix.close res_r;
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) foreign;
+      (* the forked child must not re-enter the parent's dispatcher *)
+      Astree_core.Iterator.par_hook := None;
+      let ic = Unix.in_channel_of_descr job_r in
+      let oc = Unix.out_channel_of_descr res_w in
+      (try worker_loop f ic oc with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close job_r;
+      Unix.close res_w;
+      {
+        w_pid = pid;
+        w_oc = Unix.out_channel_of_descr job_w;
+        w_ic = Unix.in_channel_of_descr res_r;
+        w_fd = res_r;
+      }
+
+let worker_fds (workers : worker array) : Unix.file_descr list =
+  Array.to_list workers
+  |> List.concat_map (fun w -> [ Unix.descr_of_out_channel w.w_oc; w.w_fd ])
+
+let create ~(jobs : int) (f : 'a -> 'b) : ('a, 'b) t =
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  (* a worker dying mid-write must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let workers = Array.make jobs (Obj.magic 0 : worker) in
+  for w = 0 to jobs - 1 do
+    workers.(w) <- spawn f (worker_fds (Array.sub workers 0 w))
+  done;
+  { p_run = f; p_workers = workers; p_alive = true }
+
+let dispose_worker (wk : worker) : unit =
+  (try Unix.kill wk.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] wk.w_pid) with Unix.Unix_error _ -> ());
+  (try close_out_noerr wk.w_oc with _ -> ());
+  try close_in_noerr wk.w_ic with _ -> ()
+
+let respawn (p : ('a, 'b) t) (w : int) : unit =
+  dispose_worker p.p_workers.(w);
+  let others =
+    worker_fds
+      (Array.of_list
+         (List.filteri (fun i _ -> i <> w) (Array.to_list p.p_workers)))
+  in
+  p.p_workers.(w) <- spawn p.p_run others
+
+let shutdown (p : ('a, 'b) t) : unit =
+  if p.p_alive then begin
+    p.p_alive <- false;
+    (* closing the job pipes makes healthy workers exit on EOF *)
+    Array.iter (fun wk -> try close_out wk.w_oc with _ -> ()) p.p_workers;
+    let deadline = Unix.gettimeofday () +. 1.0 in
+    Array.iter
+      (fun wk ->
+        let rec wait () =
+          match Unix.waitpid [ Unix.WNOHANG ] wk.w_pid with
+          | 0, _ ->
+              if Unix.gettimeofday () < deadline then begin
+                ignore (Unix.select [] [] [] 0.01);
+                wait ()
+              end
+              else begin
+                (try Unix.kill wk.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+                try ignore (Unix.waitpid [] wk.w_pid) with Unix.Unix_error _ -> ()
+              end
+          | _ -> ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        wait ();
+        try close_in_noerr wk.w_ic with _ -> ())
+      p.p_workers
+  end
+
+(** Run every job, returning results in job order.  [timeout] bounds
+    each job's wall-clock seconds (default: none). *)
+let map ?(timeout = infinity) (p : ('a, 'b) t) (jobs : 'a list) :
+    ('b, string) result list =
+  if not p.p_alive then invalid_arg "Pool.map: pool is shut down";
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let results : ('b, string) result option array = Array.make n None in
+  let completed = ref 0 in
+  let next = ref 0 in
+  let nw = Array.length p.p_workers in
+  (* busy.(w) = Some (job index, deadline) *)
+  let busy : (int * float) option array = Array.make nw None in
+  let fail j msg =
+    if results.(j) = None then begin
+      results.(j) <- Some (Error msg);
+      incr completed
+    end
+  in
+  let finish j r =
+    if results.(j) = None then begin
+      results.(j) <- Some r;
+      incr completed
+    end
+  in
+  while !completed < n do
+    (* hand a job to every idle worker *)
+    for w = 0 to nw - 1 do
+      if busy.(w) = None && !next < n then begin
+        let j = !next in
+        incr next;
+        let wk = p.p_workers.(w) in
+        match
+          Marshal.to_channel wk.w_oc jobs.(j) [];
+          flush wk.w_oc
+        with
+        | () -> busy.(w) <- Some (j, Unix.gettimeofday () +. timeout)
+        | exception _ ->
+            fail j "worker pipe closed on send";
+            respawn p w
+      end
+    done;
+    let waiting =
+      let acc = ref [] in
+      Array.iteri
+        (fun w slot ->
+          if slot <> None then acc := p.p_workers.(w).w_fd :: !acc)
+        busy;
+      !acc
+    in
+    if waiting <> [] then begin
+      let readable, _, _ =
+        try Unix.select waiting [] [] 0.1
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      Array.iteri
+        (fun w slot ->
+          match slot with
+          | Some (j, _) when List.memq p.p_workers.(w).w_fd readable -> (
+              let wk = p.p_workers.(w) in
+              match
+                (Marshal.from_channel wk.w_ic : ('b, string) result)
+              with
+              | reply ->
+                  finish j reply;
+                  busy.(w) <- None
+              | exception _ ->
+                  (* EOF or truncated reply: the worker died mid-job *)
+                  fail j "worker crashed";
+                  busy.(w) <- None;
+                  respawn p w)
+          | _ -> ())
+        busy;
+      (* enforce per-job deadlines *)
+      let now = Unix.gettimeofday () in
+      Array.iteri
+        (fun w slot ->
+          match slot with
+          | Some (j, dl) when now > dl ->
+              fail j "worker timed out";
+              busy.(w) <- None;
+              respawn p w
+          | _ -> ())
+        busy
+    end
+  done;
+  Array.to_list results
+  |> List.map (function Some r -> r | None -> Error "unreachable")
+
+let with_pool ~(jobs : int) (f : 'a -> 'b) (k : ('a, 'b) t -> 'c) : 'c =
+  let p = create ~jobs f in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> k p)

@@ -1,0 +1,27 @@
+(** Fork-based worker pool: workers inherit the caller's heap (the
+    prepared analysis context) by copy-on-write and serve marshalled
+    jobs over pipes.  Jobs and replies must be pure data (closure-free
+    marshalling).  Crashed or timed-out workers are killed and
+    respawned; their jobs come back as [Error _] and the caller decides
+    whether to retry or recompute in-process. *)
+
+type ('a, 'b) t
+
+(** Fork [jobs] workers, each serving jobs with [f].
+    @raise Invalid_argument if [jobs < 1]. *)
+val create : jobs:int -> ('a -> 'b) -> ('a, 'b) t
+
+val size : ('a, 'b) t -> int
+
+(** Run every job, one outstanding job per worker, returning results in
+    job order whatever the completion order.  [timeout] bounds each
+    job's wall-clock seconds (default none); an overrun kills and
+    respawns the worker and yields [Error "worker timed out"]. *)
+val map : ?timeout:float -> ('a, 'b) t -> 'a list -> ('b, string) result list
+
+(** Terminate the workers (EOF, then SIGKILL after a grace period). *)
+val shutdown : ('a, 'b) t -> unit
+
+(** [with_pool ~jobs f k] runs [k] with a fresh pool, shutting it down
+    on exit. *)
+val with_pool : jobs:int -> ('a -> 'b) -> (('a, 'b) t -> 'c) -> 'c

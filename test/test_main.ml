@@ -23,5 +23,6 @@ let () =
       ("invariants", Test_invariants.suite);
       ("slicer", Test_slicer.suite);
       ("samples", Test_samples.suite);
+      ("parallel", Test_parallel.suite);
       ("soundness", Test_soundness.suite);
     ]
