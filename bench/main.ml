@@ -18,6 +18,7 @@ module C = Astree_core
 module D = Astree_domains
 module F = Astree_frontend
 module G = Astree_gen
+module I = Astree_incremental
 module P = Astree_parallel
 
 let section title =
@@ -499,6 +500,120 @@ let e10 () =
     [ 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* E11 - incremental analysis: the summary cache of lib/incremental    *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  section
+    "E11: incremental analysis (--cache dir): content-addressed\n\
+     function summaries persisted across runs\n\
+     claims checked: warm fingerprints identical to cold and to the\n\
+     cache-less analyzer; warm re-analysis of an unchanged program is\n\
+     >= 2x faster";
+  I.Summary.register ();
+  let dir = Filename.temp_file "astree-e11" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      C.Analysis.cache_driver := None;
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      let cache_line (r : C.Analysis.result) =
+        match r.C.Analysis.r_stats.C.Analysis.s_cache with
+        | Some c ->
+            Fmt.str "%d hit(s) / %d miss(es), %d loaded" c.C.Analysis.c_hits
+              c.C.Analysis.c_misses c.C.Analysis.c_loaded
+        | None -> "cache off"
+      in
+      (* single member, sequential: cache-off baseline, cold store
+         write, warm store reuse *)
+      let g =
+        G.Generator.generate
+          { G.Generator.default with G.Generator.target_lines = 2200; fuse = 16 }
+      in
+      let base = cfg_with_partitions g in
+      let ccfg =
+        { base with C.Config.summary_cache = C.Config.Cache_dir dir }
+      in
+      let p, _ = C.Analysis.compile [ ("member.c", g.G.Generator.source) ] in
+      let off, t_off = time (fun () -> C.Analysis.analyze ~cfg:base p) in
+      let f_off = P.Merge.fingerprint off in
+      let cold, t_cold = time (fun () -> C.Analysis.analyze ~cfg:ccfg p) in
+      let warm, t_warm = time (fun () -> C.Analysis.analyze ~cfg:ccfg p) in
+      Fmt.pr "@.single member (%.1f kLOC), -j 1:@."
+        (float_of_int g.G.Generator.n_lines /. 1000.);
+      Fmt.pr "%12s %10s %9s %10s   %s@." "run" "time(s)" "speedup"
+        "identical" "cache";
+      Fmt.pr "%12s %10.2f %9s %10s   %s@." "cache-off" t_off "1.00x" "-"
+        (cache_line off);
+      Fmt.pr "%12s %10.2f %8.2fx %10b   %s@." "cold" t_cold (t_off /. t_cold)
+        (P.Merge.fingerprint cold = f_off)
+        (cache_line cold);
+      Fmt.pr "%12s %10.2f %8.2fx %10b   %s@." "warm" t_warm (t_off /. t_warm)
+        (P.Merge.fingerprint warm = f_off)
+        (cache_line warm);
+      Fmt.pr "warm >= 2x faster than cold: %b@." (t_cold /. t_warm >= 2.0);
+      (* unchanged family batch, -j 4: the paper's nightly re-analysis
+         scenario — every member re-verified from its stored summaries *)
+      let members =
+        List.map
+          (fun seed ->
+            G.Generator.generate
+              {
+                G.Generator.default with
+                G.Generator.seed;
+                target_lines = 1200;
+                fuse = 16;
+              })
+          [ 31; 32; 33; 34 ]
+      in
+      let items cache =
+        List.mapi
+          (fun i (m : G.Generator.generated) ->
+            let cfg =
+              {
+                C.Config.default with
+                C.Config.partitioned_functions = m.G.Generator.partition_fns;
+                summary_cache =
+                  (if cache then C.Config.Cache_dir dir
+                   else C.Config.Cache_off);
+              }
+            in
+            P.Scheduler.batch_job
+              ~label:(Fmt.str "m%d" i)
+              ~cfg
+              (P.Scheduler.Bs_sources
+                 [ (Fmt.str "m%d.c" i, m.G.Generator.source) ]))
+          members
+      in
+      let fingerprints rs = List.map (fun (_, r) -> P.Merge.fingerprint r) rs in
+      let b_off, bt_off =
+        time (fun () -> P.Scheduler.analyze_batch ~jobs:4 (items false))
+      in
+      let fb = fingerprints b_off in
+      let b_cold, bt_cold =
+        time (fun () -> P.Scheduler.analyze_batch ~jobs:4 (items true))
+      in
+      let b_warm, bt_warm =
+        time (fun () -> P.Scheduler.analyze_batch ~jobs:4 (items true))
+      in
+      Fmt.pr "@.unchanged family batch (%d members, ~1.2 kLOC each), -j 4:@."
+        (List.length members);
+      Fmt.pr "%12s %10s %9s %10s@." "run" "time(s)" "speedup" "identical";
+      Fmt.pr "%12s %10.2f %9s %10s@." "cache-off" bt_off "1.00x" "-";
+      Fmt.pr "%12s %10.2f %8.2fx %10b@." "cold" bt_cold (bt_off /. bt_cold)
+        (fingerprints b_cold = fb);
+      Fmt.pr "%12s %10.2f %8.2fx %10b@." "warm" bt_warm (bt_off /. bt_warm)
+        (fingerprints b_warm = fb);
+      Fmt.pr "warm batch >= 2x faster than cold: %b@."
+        (bt_cold /. bt_warm >= 2.0))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -618,5 +733,6 @@ let () =
   if want "e8" then e8 ();
   if want "e9" then e9 ();
   if want "e10" then e10 ();
+  if want "e11" then e11 ();
   if want "micro" then micro ();
   Fmt.pr "@.done.@."

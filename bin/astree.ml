@@ -18,9 +18,74 @@ let read_file path =
   close_in ic;
   s
 
+(* ------------------------------------------------------------------ *)
+(* JSON output (--format json)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let json_alarm (a : C.Alarm.t) : string =
+  Printf.sprintf
+    "{\"kind\": %s, \"file\": %s, \"line\": %d, \"col\": %d, \"message\": %s}"
+    (json_str (C.Alarm.kind_to_string a.C.Alarm.a_kind))
+    (json_str a.C.Alarm.a_loc.F.Loc.file)
+    a.C.Alarm.a_loc.F.Loc.line a.C.Alarm.a_loc.F.Loc.col
+    (json_str a.C.Alarm.a_msg)
+
+let json_stats (s : C.Analysis.stats) : string =
+  let base =
+    Printf.sprintf
+      "\"globals_before\": %d, \"globals_after\": %d, \"cells\": %d, \
+       \"statements\": %d, \"octagon_packs\": %d, \"octagon_useful\": %d, \
+       \"ellipsoid_packs\": %d, \"decision_tree_packs\": %d, \"time\": %.6f"
+      s.C.Analysis.s_globals_before s.C.Analysis.s_globals_after
+      s.C.Analysis.s_cells s.C.Analysis.s_stmts s.C.Analysis.s_oct_packs
+      s.C.Analysis.s_oct_useful s.C.Analysis.s_ell_packs
+      s.C.Analysis.s_dt_packs s.C.Analysis.s_time
+  in
+  let cache =
+    match s.C.Analysis.s_cache with
+    | None -> ""
+    | Some c ->
+        Printf.sprintf
+          ", \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d, \
+           \"loaded\": %d, \"load_time\": %.6f, \"save_time\": %.6f}"
+          c.C.Analysis.c_hits c.C.Analysis.c_misses c.C.Analysis.c_entries
+          c.C.Analysis.c_loaded c.C.Analysis.c_load_time
+          c.C.Analysis.c_save_time
+  in
+  "{" ^ base ^ cache ^ "}"
+
+(** The whole result as one JSON object: alarms, statistics and the
+    deterministic result fingerprint ([Merge.fingerprint], the digest
+    the equivalence tests compare). *)
+let print_json (r : C.Analysis.result) : unit =
+  print_string
+    (Printf.sprintf
+       "{\"alarms\": [%s], \"stats\": %s, \"fingerprint\": %s}\n"
+       (String.concat ", " (List.map json_alarm r.C.Analysis.r_alarms))
+       (json_stats r.C.Analysis.r_stats)
+       (json_str (Astree_parallel.Merge.fingerprint r)))
+
 let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
-    partitioned max_dt_bools useful_packs jobs dump_invariants dump_census
-    slice_alarms verbose =
+    partitioned max_dt_bools useful_packs jobs cache_dir cache_mem no_cache
+    format dump_invariants dump_census slice_alarms verbose =
   if files = [] then `Error (false, "no input files")
   else
     try
@@ -29,10 +94,21 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
         else max 1 jobs
       in
       if jobs > 1 then Astree_parallel.Scheduler.register ();
+      let summary_cache =
+        if no_cache then C.Config.Cache_off
+        else
+          match cache_dir with
+          | Some dir -> C.Config.Cache_dir dir
+          | None ->
+              if cache_mem then C.Config.Cache_mem else C.Config.Cache_off
+      in
+      if summary_cache <> C.Config.Cache_off then
+        Astree_incremental.Summary.register ();
       let cfg =
         {
           C.Config.default with
           C.Config.jobs;
+          summary_cache;
           use_octagons = not no_oct;
           use_ellipsoids = not no_ell;
           use_decision_trees = not no_dt;
@@ -52,26 +128,14 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
       in
       let sources = List.map (fun f -> (f, read_file f)) files in
       (* honor "/* astree-partition: f g ... */" markers unless the user
-         supplied an explicit partition list *)
+         supplied an explicit partition list; a file may carry several
+         markers, with arbitrary whitespace after the colon *)
       let cfg =
         if partitioned <> [] then cfg
         else
           let marked =
-            (* a file may carry several markers: collect them all *)
             List.concat_map
-              (fun (_, src) ->
-                let re = Str.regexp "astree-partition: \\([^*]*\\)\\*/" in
-                let rec scan pos acc =
-                  match Str.search_forward re src pos with
-                  | _ ->
-                      let fns =
-                        String.split_on_char ' '
-                          (String.trim (Str.matched_group 1 src))
-                      in
-                      scan (Str.match_end ()) (List.rev_append fns acc)
-                  | exception Not_found -> List.rev acc
-                in
-                scan 0 [])
+              (fun (_, src) -> F.Preproc.partition_markers src)
               sources
             |> List.sort_uniq String.compare
           in
@@ -80,11 +144,25 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
       in
       let p, _stats = C.Analysis.compile ~main sources in
       let r = C.Analysis.analyze ~cfg p in
-      Fmt.pr "%a@." C.Analysis.pp_result r;
-      if verbose then
-        Fmt.pr "useful octagon packs: %a@."
-          Fmt.(list ~sep:comma int)
-          (C.Analysis.useful_octagon_packs r);
+      (* cache counters are a --verbose detail: default output stays
+         byte-identical to the cache-less analyzer *)
+      let r =
+        if verbose then r
+        else
+          {
+            r with
+            C.Analysis.r_stats =
+              { r.C.Analysis.r_stats with C.Analysis.s_cache = None };
+          }
+      in
+      (match format with
+      | `Json -> print_json r
+      | `Text ->
+          Fmt.pr "%a@." C.Analysis.pp_result r;
+          if verbose then
+            Fmt.pr "useful octagon packs: %a@."
+              Fmt.(list ~sep:comma int)
+              (C.Analysis.useful_octagon_packs r));
       if dump_census then begin
         match C.Invariant_census.main_loop_census r with
         | Some c ->
@@ -140,6 +218,10 @@ let cmd =
         $ Arg.(value & opt int 3 & info [ "max-dtree-bools" ] ~doc:"Booleans per decision-tree pack (Sect. 7.2.3)")
         $ Arg.(value & opt (list int) [] & info [ "useful-packs" ] ~doc:"Octagon pack ids to keep (Sect. 7.2.2)")
         $ Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc:"Worker processes for the parallel analysis (1 = sequential, 0 = one per core)")
+        $ Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc:"Persist function summaries in $(docv), reusing them across runs (results are unaffected)")
+        $ flag "cache-mem" "In-memory function-summary cache for this run only"
+        $ flag "no-cache" "Disable the summary cache, overriding $(b,--cache) and $(b,--cache-mem)"
+        $ Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json) (one object with alarms, stats and the result fingerprint)")
         $ flag "dump-invariants" "Print loop invariants"
         $ flag "census" "Print the main-loop invariant census (Sect. 9.4.1)"
         $ flag "slice" "Print a backward slice for each alarm (Sect. 3.3)"

@@ -5,7 +5,7 @@
 module G = Astree_gen
 open Cmdliner
 
-let run kloc seed bug_ratio output =
+let run kloc seed bug_ratio fuse output =
   let g =
     G.Generator.generate
       {
@@ -13,6 +13,7 @@ let run kloc seed bug_ratio output =
         target_lines = int_of_float (kloc *. 1000.0);
         mix = G.Shapes.all_safe_kinds;
         bug_ratio;
+        fuse;
       }
   in
   (match output with
@@ -35,6 +36,13 @@ let cmd =
         $ Arg.(value & opt float 1.0 & info [ "kloc" ] ~doc:"Approximate size in kLOC")
         $ Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed")
         $ Arg.(value & opt float 0.0 & info [ "bugs" ] ~doc:"Fraction of injected defects")
+        $ Arg.(
+            value
+            & opt int 1
+            & info [ "fuse" ]
+                ~doc:
+                  "Shapes per top-level function (>1 groups shapes into \
+                   large stage functions)")
         $ Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file")))
 
 let () = exit (Cmd.eval' cmd)

@@ -76,3 +76,21 @@ let absorb (c : collector) (delta : t list) : unit =
       let key = (a.a_kind, a.a_loc) in
       if not (Hashtbl.mem c.alarms key) then Hashtbl.replace c.alarms key a)
     delta
+
+(** Capture sections, used by the summary cache to isolate the alarms of
+    one function call.  [capture] swaps in a fresh table (keeping the
+    mode flag); [release] puts the saved table back, absorbs the alarms
+    recorded meanwhile (first-in wins, exactly the sequential policy)
+    and returns them.  Captures nest like a stack. *)
+type capture = (kind * F.Loc.t, t) Hashtbl.t
+
+let capture (c : collector) : capture =
+  let saved = c.alarms in
+  c.alarms <- Hashtbl.create 16;
+  saved
+
+let release (c : collector) (saved : capture) : t list =
+  let fresh = to_list c in
+  c.alarms <- saved;
+  absorb c fresh;
+  fresh

@@ -49,3 +49,12 @@ val reset : collector -> unit
     collector, first-in wins per (kind, location), irrespective of the
     enabled flag. *)
 val absorb : collector -> t list -> unit
+
+(** Capture section: [capture] diverts subsequent reports into a fresh
+    table; [release] restores the previous table, absorbs the diverted
+    alarms back (first-in wins) and returns them.  Used by the summary
+    cache to record the alarms of one function call; sections nest. *)
+type capture
+
+val capture : collector -> capture
+val release : collector -> capture -> t list

@@ -5,6 +5,18 @@
 module F = Astree_frontend
 module D = Astree_domains
 
+(** Summary-cache effectiveness counters, present only when a cache was
+    enabled for the run — [pp_stats] output is byte-identical to the
+    cache-less analyzer otherwise. *)
+type cache_stats = {
+  c_hits : int;
+  c_misses : int;
+  c_entries : int;     (** summaries in the table after the run *)
+  c_loaded : int;      (** summaries read back from the on-disk store *)
+  c_load_time : float; (** seconds spent loading the store *)
+  c_save_time : float; (** seconds spent saving the store *)
+}
+
 type stats = {
   s_globals_before : int;  (** globals before unused-variable deletion *)
   s_globals_after : int;
@@ -15,6 +27,7 @@ type stats = {
   s_ell_packs : int;
   s_dt_packs : int;
   s_time : float;          (** analysis wall-clock seconds *)
+  s_cache : cache_stats option;
 }
 
 type result = {
@@ -37,6 +50,16 @@ let useful_octagon_packs (r : result) : int list =
     rather than a direct call so the core library does not depend on the
     process-pool machinery. *)
 let parallel_driver : (Config.t -> F.Tast.program -> result) option ref =
+  ref None
+
+(** Installed by [Astree_incremental.Summary.register]: when
+    [Config.cache_enabled cfg], the driver fingerprints the program,
+    attaches the summary table (loading the on-disk store if
+    configured), runs the wrapped analysis and fills [s_cache].  Same
+    hook pattern as [parallel_driver], and composable with it: the
+    cache driver wraps whichever execution path the inner thunk picks. *)
+let cache_driver :
+    (Config.t -> F.Tast.program -> (unit -> result) -> result) option ref =
   ref None
 
 (** Analyze a typed program against an already-prepared context (the
@@ -62,15 +85,28 @@ let analyze_prepared (actx : Transfer.actx) (p : F.Tast.program) : result =
         s_ell_packs = List.length actx.Transfer.packs.Packing.ells;
         s_dt_packs = List.length actx.Transfer.packs.Packing.dts;
         s_time = t1 -. t0;
+        s_cache = None;
       };
   }
 
 (** Analyze a typed program, dispatching to the parallel subsystem when
-    [cfg.jobs > 1] and a driver is registered. *)
+    [cfg.jobs > 1] and a driver is registered, and wrapping the run in
+    the summary-cache driver when caching is enabled.  With the cache
+    on, cells are pre-filled in program order even sequentially, so the
+    cell numbering (which summary keys depend on) is identical across
+    sequential, parallel, cold and warm runs. *)
 let analyze ?(cfg = Config.default) (p : F.Tast.program) : result =
-  match !parallel_driver with
-  | Some driver when cfg.Config.jobs > 1 -> driver cfg p
-  | _ -> analyze_prepared (Transfer.make_actx cfg p) p
+  let core () =
+    match !parallel_driver with
+    | Some driver when cfg.Config.jobs > 1 -> driver cfg p
+    | _ ->
+        let actx = Transfer.make_actx cfg p in
+        if Config.cache_enabled cfg then Transfer.prefill_cells actx;
+        analyze_prepared actx p
+  in
+  match !cache_driver with
+  | Some driver when Config.cache_enabled cfg -> driver cfg p core
+  | _ -> core ()
 
 (** Frontend pipeline: preprocess, parse, link, type-check, simplify. *)
 let compile ?(target = F.Ctypes.default_target) ?(main = "main")
@@ -99,12 +135,21 @@ let analyze_string ?(cfg = Config.default) ?(main = "main") ?(file = "<input>")
     (src : string) : result =
   analyze_sources ~cfg ~main [ (file, src) ]
 
+let pp_cache_stats ppf (c : cache_stats) =
+  Fmt.pf ppf
+    "summary cache: %d hit(s), %d miss(es), %d entrie(s), %d loaded;@ store \
+     load: %.3fs, save: %.3fs"
+    c.c_hits c.c_misses c.c_entries c.c_loaded c.c_load_time c.c_save_time
+
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "globals: %d -> %d; cells: %d; statements: %d;@ octagon packs: %d (%d \
      useful); ellipsoid packs: %d; decision-tree packs: %d;@ time: %.3fs"
     s.s_globals_before s.s_globals_after s.s_cells s.s_stmts s.s_oct_packs
-    s.s_oct_useful s.s_ell_packs s.s_dt_packs s.s_time
+    s.s_oct_useful s.s_ell_packs s.s_dt_packs s.s_time;
+  match s.s_cache with
+  | None -> ()
+  | Some c -> Fmt.pf ppf "@\n%a" pp_cache_stats c
 
 let pp_result ppf (r : result) =
   Fmt.pf ppf "%d alarm(s)@\n%a@\n%a" (n_alarms r)

@@ -1,6 +1,17 @@
 (** Top-level analysis driver: the preprocessing phase (Sect. 5.1)
     followed by the analysis phase (Sect. 5.2). *)
 
+(** Summary-cache effectiveness counters, present only when a cache was
+    enabled for the run. *)
+type cache_stats = {
+  c_hits : int;
+  c_misses : int;
+  c_entries : int;     (** summaries in the table after the run *)
+  c_loaded : int;      (** summaries read back from the on-disk store *)
+  c_load_time : float; (** seconds spent loading the store *)
+  c_save_time : float; (** seconds spent saving the store *)
+}
+
 type stats = {
   s_globals_before : int;  (** globals before unused-variable deletion *)
   s_globals_after : int;
@@ -11,6 +22,7 @@ type stats = {
   s_ell_packs : int;
   s_dt_packs : int;
   s_time : float;          (** analysis wall-clock seconds *)
+  s_cache : cache_stats option;
 }
 
 type result = {
@@ -40,6 +52,14 @@ val analyze_prepared : Transfer.actx -> Astree_frontend.Tast.program -> result
 val parallel_driver :
   (Config.t -> Astree_frontend.Tast.program -> result) option ref
 
+(** Summary-cache driver hook, installed by
+    [Astree_incremental.Summary.register].  Wraps the analysis thunk
+    when [Config.cache_enabled]; composes with [parallel_driver]. *)
+val cache_driver :
+  (Config.t -> Astree_frontend.Tast.program -> (unit -> result) -> result)
+  option
+  ref
+
 (** Frontend pipeline: preprocess, parse, link, type-check, simplify.
     Sources are (filename, contents) pairs. *)
 val compile :
@@ -56,5 +76,6 @@ val analyze_sources :
 val analyze_string :
   ?cfg:Config.t -> ?main:string -> ?file:string -> string -> result
 
+val pp_cache_stats : Format.formatter -> cache_stats -> unit
 val pp_stats : Format.formatter -> stats -> unit
 val pp_result : Format.formatter -> result -> unit

@@ -63,7 +63,17 @@ type t = {
           sequential, [n > 1] dispatches independent jobs (trace
           partitions, dispatch branches, whole-program batch items) to a
           fork-based pool whose results are merged deterministically *)
+  (* ---- incremental analysis (Astree_incremental) ------------------- *)
+  summary_cache : cache;
+      (** function-summary memoization: identical (callee fingerprint,
+          abstract entry state) pairs are analyzed once.  [Cache_mem]
+          keeps summaries for the duration of one analysis run,
+          [Cache_dir d] additionally persists them in directory [d]
+          across runs and processes.  Never affects analysis results,
+          only their cost — hence excluded from the config fingerprint *)
 }
+
+and cache = Cache_off | Cache_mem | Cache_dir of string
 
 let default : t =
   {
@@ -90,7 +100,10 @@ let default : t =
     expand_array_max = 64;
     naive_environments = false;
     jobs = 1;
+    summary_cache = Cache_off;
   }
+
+let cache_enabled (cfg : t) : bool = cfg.summary_cache <> Cache_off
 
 (** The baseline configuration corresponding to the analyzer of [5] the
     paper started from: intervals, the clocked domain and widening with

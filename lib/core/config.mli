@@ -50,7 +50,14 @@ type t = {
   (* ---- parallel analysis (Astree_parallel) ------------------------- *)
   jobs : int;
       (** worker processes for the parallel subsystem; [1] = sequential *)
+  (* ---- incremental analysis (Astree_incremental) ------------------- *)
+  summary_cache : cache;
+      (** function-summary memoization: [Cache_mem] within one run,
+          [Cache_dir d] persisted in [d] across runs; never affects
+          results, only their cost *)
 }
+
+and cache = Cache_off | Cache_mem | Cache_dir of string
 
 (** All domains and strategies on — the fully refined analyzer. *)
 val default : t
@@ -65,3 +72,6 @@ val intervals_only : t
 
 (** Unrolling factor for a given loop id. *)
 val unroll_for : t -> int -> int
+
+(** Whether any summary caching (in-memory or persistent) is on. *)
+val cache_enabled : t -> bool

@@ -78,6 +78,68 @@ let cap_partitions (a : Transfer.actx) (sts : Astate.t list) : Astate.t list =
    retried) and the iterator recomputes it in-process, so parallel
    analysis can neither hang nor lose soundness. *)
 
+(* ------------------------------------------------------------------ *)
+(* Function-summary cache hook (Astree_incremental)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Context-sensitive polyvariant inlining (Sect. 5.4) re-analyzes a
+   callee for every call context; the summary cache pays for each
+   distinct (callee, abstract entry state) pair once.  The iterator
+   stays storage-agnostic: the incremental subsystem installs
+   [call_memo], whose key function folds the callee's content
+   fingerprint (structure, types, transitive callee hashes, config)
+   with a digest of the exact abstract entry state — no entailment
+   shortcut, so a hit is equivalent to re-analysis by construction. *)
+
+(** Everything one analyzed call produced: the state at the return
+    point, the merged return value, and the side effects on the
+    context's bookkeeping.  Pure data — marshalled into parallel deltas
+    and into the on-disk store. *)
+type summary = {
+  sm_exit : Astate.t;  (** state after the return-point trace merge *)
+  sm_retv : D.Itv.t;   (** return value (Bot for void / no return) *)
+  sm_delta : Transfer.capture_delta;
+}
+
+(** Cache key: callee content fingerprint (covers the analysis
+    configuration), digest of the abstract entry state together with
+    the by-reference parameter bindings, and the alarm-collector mode —
+    iteration-mode and checking-mode results are never conflated. *)
+type summary_key = {
+  sk_fn : string;
+  sk_entry : string;
+  sk_checking : bool;
+}
+
+type call_memo = {
+  cm_key :
+    fname:string -> checking:bool -> Astate.t -> Transfer.binds ->
+    summary_key option;
+      (** [None]: this call is not cacheable (unknown fingerprint) *)
+  cm_find : summary_key -> summary option;
+  cm_add : summary_key -> summary -> unit;
+  cm_fresh : (summary_key * summary) list ref;
+      (** summaries computed by this process since the last drain, in
+          computation order — parallel workers ship them back in their
+          job deltas *)
+  cm_hits : int ref;
+  cm_misses : int ref;
+  cm_want : string -> bool;
+      (** gate: is this callee worth memoizing at all?  Computed once
+          per session from the transitive inlined size of each function
+          against {!memo_min_stmts} *)
+}
+
+let call_memo : call_memo option ref = ref None
+
+(** Minimal transitive inlined statement count of a callee before
+    memoization is worth the entry-state digest.  Digesting the exact
+    abstract entry state costs a fraction of a millisecond per kLOC of
+    environment, so memoizing tiny helpers is a net loss; only callees
+    whose re-analysis (including everything they inline) dwarfs the
+    digest deserve a summary. *)
+let memo_min_stmts = ref 30
+
 (** A unit of work shipped to a worker: pure data, marshalled. *)
 type par_work =
   | Pw_block of block  (** execute a block (a conditional branch) *)
@@ -99,6 +161,11 @@ type par_delta = {
   pd_invariants : (int * Astate.t) list;  (** loop id -> head invariant *)
   pd_joins : int;
   pd_oct_useful : int list;
+  pd_summaries : (summary_key * summary) list;
+      (** summaries freshly computed while running the job, shipped back
+          so the parent (and later jobs) reuse them *)
+  pd_cache_hits : int;
+  pd_cache_misses : int;
 }
 
 type par_reply = { pr_out : outcome; pr_delta : par_delta }
@@ -133,7 +200,17 @@ let apply_delta (a : Transfer.actx) (d : par_delta) : unit =
   List.iter
     (fun id -> Hashtbl.replace a.Transfer.oct_useful id ())
     d.pd_oct_useful;
-  a.Transfer.join_count <- a.Transfer.join_count + d.pd_joins
+  a.Transfer.join_count <- a.Transfer.join_count + d.pd_joins;
+  (* summaries computed by the worker become available to the parent and
+     to later jobs; [cm_add] keeps the first entry per key, and the same
+     key always maps to an identical summary, so replay order cannot
+     change results *)
+  match !call_memo with
+  | None -> ()
+  | Some m ->
+      List.iter (fun (k, s) -> m.cm_add k s) d.pd_summaries;
+      m.cm_hits := !(m.cm_hits) + d.pd_cache_hits;
+      m.cm_misses := !(m.cm_misses) + d.pd_cache_misses
 
 let mk_job (a : Transfer.actx) ~(binds : Transfer.binds)
     ~(stack : string list) ~(part : bool) (work : par_work) (st : Astate.t) :
@@ -547,20 +624,8 @@ and exec_call_one (a : Transfer.actx) ~(stack : string list)
               (Analysis_error (Fmt.str "argument mismatch calling %s" fname)))
       (st, VarMap.empty) fd.fd_params args
   in
-  let o = exec_block a ~part:partitioned ~stack callee_binds [ st ] fd.fd_body in
-  (* the traces are merged at the return point of the function
-     (Sect. 7.1.5) *)
-  let exit_env = Astate.join (join_states o.o_norm) o.o_ret in
-  let retv =
-    match fd.fd_ret with
-    | F.Ctypes.Tvoid -> D.Itv.Bot
-    | F.Ctypes.Tscalar sc ->
-        (* falling off the end without a return gives an undefined
-           value: the whole type range *)
-        if Astate.is_bot (join_states o.o_norm) then o.o_retv
-        else
-          join_itv o.o_retv (Avalue.top_of_scalar a.Transfer.prog.p_target sc)
-    | _ -> D.Itv.Bot
+  let exit_env, retv =
+    exec_call_body a ~stack ~partitioned callee_binds st fname fd
   in
   match (dst, retv) with
   | Some d, retv when not (D.Itv.is_bot retv) ->
@@ -576,6 +641,66 @@ and exec_call_one (a : Transfer.actx) ~(stack : string list)
       (* no return value reached: leave dst at its type range *)
       Transfer.local_decl a exit_env binds d None
   | None, _ -> exit_env
+
+(** Analyze the callee body from a fully bound entry state and merge the
+    traces at the return point.  This is the memoized region: the entry
+    state and the by-reference bindings determine the result completely
+    (the destination write-back happens in the caller's scope, outside).
+    On a cache hit the recorded side effects — alarms, loop invariants,
+    useful octagon packs, join count — are replayed, so a hit is
+    observationally identical to re-analysis. *)
+and exec_call_body (a : Transfer.actx) ~(stack : string list)
+    ~(partitioned : bool) (callee_binds : Transfer.binds) (st : Astate.t)
+    (fname : string) (fd : fundef) : Astate.t * D.Itv.t =
+  let compute () =
+    let o =
+      exec_block a ~part:partitioned ~stack callee_binds [ st ] fd.fd_body
+    in
+    (* the traces are merged at the return point of the function
+       (Sect. 7.1.5) *)
+    let exit_env = Astate.join (join_states o.o_norm) o.o_ret in
+    let retv =
+      match fd.fd_ret with
+      | F.Ctypes.Tvoid -> D.Itv.Bot
+      | F.Ctypes.Tscalar sc ->
+          (* falling off the end without a return gives an undefined
+             value: the whole type range *)
+          if Astate.is_bot (join_states o.o_norm) then o.o_retv
+          else
+            join_itv o.o_retv
+              (Avalue.top_of_scalar a.Transfer.prog.p_target sc)
+      | _ -> D.Itv.Bot
+    in
+    (exit_env, retv)
+  in
+  match !call_memo with
+  | Some m when m.cm_want fname -> (
+      match
+        m.cm_key ~fname ~checking:a.Transfer.alarms.Alarm.enabled st
+          callee_binds
+      with
+      | None -> compute ()
+      | Some key -> (
+          match m.cm_find key with
+          | Some s ->
+              incr m.cm_hits;
+              Transfer.capture_replay a s.sm_delta;
+              (s.sm_exit, s.sm_retv)
+          | None ->
+              incr m.cm_misses;
+              let cap = Transfer.capture_begin a in
+              let exit_env, retv =
+                try compute ()
+                with e ->
+                  Transfer.capture_abort a cap;
+                  raise e
+              in
+              let delta = Transfer.capture_end a cap in
+              let s = { sm_exit = exit_env; sm_retv = retv; sm_delta = delta } in
+              m.cm_add key s;
+              m.cm_fresh := (key, s) :: !(m.cm_fresh);
+              (exit_env, retv)))
+  | _ -> compute ()
 
 (* ------------------------------------------------------------------ *)
 (* Whole-program analysis                                              *)
@@ -617,6 +742,13 @@ let par_run_job (a : Transfer.actx) (job : par_job) : par_reply =
   Hashtbl.reset a.Transfer.invariants;
   Hashtbl.reset a.Transfer.oct_useful;
   let joins0 = a.Transfer.join_count in
+  let hits0, misses0 =
+    match !call_memo with
+    | Some m ->
+        m.cm_fresh := [];
+        (!(m.cm_hits), !(m.cm_misses))
+    | None -> (0, 0)
+  in
   let out =
     match job.pj_work with
     | Pw_block b ->
@@ -641,6 +773,14 @@ let par_run_job (a : Transfer.actx) (job : par_job) : par_reply =
     Hashtbl.fold (fun id () acc -> id :: acc) a.Transfer.oct_useful []
     |> List.sort Int.compare
   in
+  let summaries, hits, misses =
+    match !call_memo with
+    | Some m ->
+        ( List.rev !(m.cm_fresh),
+          !(m.cm_hits) - hits0,
+          !(m.cm_misses) - misses0 )
+    | None -> ([], 0, 0)
+  in
   {
     pr_out = out;
     pr_delta =
@@ -649,5 +789,8 @@ let par_run_job (a : Transfer.actx) (job : par_job) : par_reply =
         pd_invariants = invariants;
         pd_joins = a.Transfer.join_count - joins0;
         pd_oct_useful = useful;
+        pd_summaries = summaries;
+        pd_cache_hits = hits;
+        pd_cache_misses = misses;
       };
   }

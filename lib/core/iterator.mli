@@ -29,6 +29,60 @@ type outcome = {
     [par_hook] in the parent; workers execute [par_run_job] on marshalled
     jobs against their forked copy of the context. *)
 
+(** {1 Function-summary cache (Astree_incremental)}
+
+    Context-sensitive polyvariant inlining (Sect. 5.4) re-analyzes a
+    callee for every call context; the summary cache pays for each
+    distinct (callee fingerprint, abstract entry state) pair once.  The
+    iterator is storage-agnostic: the incremental subsystem installs
+    [call_memo]; a hit replays the recorded side effects and is
+    observationally identical to re-analysis. *)
+
+(** Everything one analyzed call produced: the state at the return
+    point, the merged return value, and the side effects on the
+    context's bookkeeping.  Pure data — marshalled into parallel deltas
+    and into the on-disk store. *)
+type summary = {
+  sm_exit : Astate.t;
+  sm_retv : Astree_domains.Itv.t;
+  sm_delta : Transfer.capture_delta;
+}
+
+(** Cache key: callee content fingerprint (covers the analysis
+    configuration), digest of the abstract entry state with the
+    by-reference bindings, and the alarm-collector mode — iteration-mode
+    and checking-mode results are never conflated. *)
+type summary_key = { sk_fn : string; sk_entry : string; sk_checking : bool }
+
+type call_memo = {
+  cm_key :
+    fname:string ->
+    checking:bool ->
+    Astate.t ->
+    Transfer.binds ->
+    summary_key option;
+      (** [None]: this call is not cacheable (no fingerprint) *)
+  cm_find : summary_key -> summary option;
+  cm_add : summary_key -> summary -> unit;
+  cm_fresh : (summary_key * summary) list ref;
+      (** summaries computed by this process since the last drain, in
+          computation order — parallel workers ship them in job deltas *)
+  cm_hits : int ref;
+  cm_misses : int ref;
+  cm_want : string -> bool;
+      (** gate: is this callee worth memoizing at all?  Computed once
+          per session from the transitive inlined size of each function
+          against {!memo_min_stmts} *)
+}
+
+(** Installed by [Astree_incremental.Summary]; [None] disables
+    memoization entirely. *)
+val call_memo : call_memo option ref
+
+(** Minimal transitive inlined statement count of a callee before
+    memoization is worth the entry-state digest. *)
+val memo_min_stmts : int ref
+
 (** A unit of work shipped to a worker: pure (marshallable) data. *)
 type par_work =
   | Pw_block of Astree_frontend.Tast.block
@@ -55,6 +109,10 @@ type par_delta = {
   pd_invariants : (int * Astate.t) list;
   pd_joins : int;
   pd_oct_useful : int list;
+  pd_summaries : (summary_key * summary) list;
+      (** summaries the worker computed, in computation order *)
+  pd_cache_hits : int;
+  pd_cache_misses : int;
 }
 
 type par_reply = { pr_out : outcome; pr_delta : par_delta }

@@ -1571,3 +1571,83 @@ let prefill_cells (a : actx) : unit =
           | _ -> ())
         fd.fd_body)
     a.prog.p_funs
+
+(* ------------------------------------------------------------------ *)
+(* Incremental-analysis support                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Snapshot of the context's mutable bookkeeping, taken by the summary
+    cache at the entry of a memoized call so that the call's exact
+    contribution — alarms, loop invariants, useful octagon packs, join
+    count — can be extracted afterwards and replayed verbatim on a cache
+    hit. *)
+type capture = {
+  cap_alarms : Alarm.capture;
+  cap_invariants : (int, Astate.t) Hashtbl.t;  (** copy at entry *)
+  cap_oct_useful : (int, unit) Hashtbl.t;      (** copy at entry *)
+  cap_joins : int;
+}
+
+(** The side effects of one captured call, in replayable form. *)
+type capture_delta = {
+  cd_alarms : Alarm.t list;
+  cd_invariants : (int * Astate.t) list;  (** sorted by loop id *)
+  cd_oct_useful : int list;               (** sorted *)
+  cd_joins : int;
+}
+
+let capture_begin (a : actx) : capture =
+  {
+    cap_alarms = Alarm.capture a.alarms;
+    cap_invariants = Hashtbl.copy a.invariants;
+    cap_oct_useful = Hashtbl.copy a.oct_useful;
+    cap_joins = a.join_count;
+  }
+
+(** Close a capture section: restore the alarm collector (absorbing the
+    captured alarms, so the surrounding analysis is unaffected) and diff
+    the invariant/pack tables against the entry snapshot.  The diff is
+    by physical equality: an entry is part of the delta iff the call
+    (re)wrote it, which replay reproduces with [Hashtbl.replace] in the
+    sequential order. *)
+let capture_end (a : actx) (c : capture) : capture_delta =
+  let alarms = Alarm.release a.alarms c.cap_alarms in
+  let invariants =
+    Hashtbl.fold
+      (fun id st acc ->
+        match Hashtbl.find_opt c.cap_invariants id with
+        | Some old when old == st -> acc
+        | _ -> (id, st) :: acc)
+      a.invariants []
+    |> List.sort (fun (x, _) (y, _) -> Int.compare x y)
+  in
+  let oct_useful =
+    Hashtbl.fold
+      (fun id () acc ->
+        if Hashtbl.mem c.cap_oct_useful id then acc else id :: acc)
+      a.oct_useful []
+    |> List.sort Int.compare
+  in
+  {
+    cd_alarms = alarms;
+    cd_invariants = invariants;
+    cd_oct_useful = oct_useful;
+    cd_joins = a.join_count - c.cap_joins;
+  }
+
+(** Abandon a capture section on an exceptional exit: the alarm table is
+    restored (captured alarms are absorbed, not lost) and no delta is
+    produced. *)
+let capture_abort (a : actx) (c : capture) : unit =
+  ignore (Alarm.release a.alarms c.cap_alarms)
+
+(** Replay a captured delta against the context — the cache-hit path.
+    By construction this performs exactly the bookkeeping updates the
+    skipped re-analysis would have performed. *)
+let capture_replay (a : actx) (d : capture_delta) : unit =
+  Alarm.absorb a.alarms d.cd_alarms;
+  List.iter
+    (fun (id, st) -> Hashtbl.replace a.invariants id st)
+    d.cd_invariants;
+  List.iter (fun id -> Hashtbl.replace a.oct_useful id ()) d.cd_oct_useful;
+  a.join_count <- a.join_count + d.cd_joins

@@ -104,3 +104,29 @@ val initial_state : actx -> Astate.t
     program order.  Called by the parallel subsystem before forking
     workers, so all processes share one frozen cell numbering. *)
 val prefill_cells : actx -> unit
+
+(** {1 Incremental-analysis support}
+
+    Capture sections isolate the exact side effects of one function call
+    on the context's mutable bookkeeping (alarms, loop invariants,
+    useful octagon packs, join count), so the summary cache can store
+    them with the call's result and replay them verbatim on a hit. *)
+
+type capture
+
+(** Replayable side effects of one captured call. *)
+type capture_delta = {
+  cd_alarms : Alarm.t list;
+  cd_invariants : (int * Astate.t) list;  (** sorted by loop id *)
+  cd_oct_useful : int list;               (** sorted *)
+  cd_joins : int;
+}
+
+val capture_begin : actx -> capture
+val capture_end : actx -> capture -> capture_delta
+
+(** Abandon a section on an exceptional exit (alarms are preserved). *)
+val capture_abort : actx -> capture -> unit
+
+(** Replay a delta against the context — the cache-hit path. *)
+val capture_replay : actx -> capture_delta -> unit

@@ -512,3 +512,40 @@ let rec process env ~file ~(depth : int) (src : string) : string =
 
 (** Entry point: preprocess a source string. *)
 let run ?(env = make_env ()) ~file src = process env ~file ~depth:0 src
+
+(* ------------------------------------------------------------------ *)
+(* Analyzer directive comments                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Collect the function names of every "/* astree-partition: f g */"
+    marker in [src].  Any amount of whitespace — spaces, tabs, newlines
+    — may follow the colon and separate the names; the list ends at the
+    closing "*/".  Names are returned sorted and deduplicated. *)
+let partition_markers (src : string) : string list =
+  let tag = "astree-partition:" in
+  let tlen = String.length tag in
+  let n = String.length src in
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' || c = '\n' in
+  let at_close j = j + 1 < n && src.[j] = '*' && src.[j + 1] = '/' in
+  let acc = ref [] in
+  let i = ref 0 in
+  while !i + tlen <= n do
+    if String.sub src !i tlen = tag then begin
+      let j = ref (!i + tlen) in
+      let stop = ref false in
+      while not !stop do
+        while !j < n && is_ws src.[!j] do incr j done;
+        if !j >= n || at_close !j then stop := true
+        else begin
+          let start = !j in
+          while !j < n && (not (is_ws src.[!j])) && not (at_close !j) do
+            incr j
+          done;
+          acc := String.sub src start (!j - start) :: !acc
+        end
+      done;
+      i := !j
+    end
+    else incr i
+  done;
+  List.sort_uniq String.compare !acc

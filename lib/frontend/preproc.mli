@@ -27,3 +27,8 @@ val is_defined : env -> string -> bool
 
 (** Preprocess a source string. *)
 val run : ?env:env -> file:string -> string -> string
+
+(** Function names listed by "/* astree-partition: f g */" markers,
+    sorted and deduplicated.  Whitespace after the colon and between
+    names is arbitrary (spaces, tabs, newlines). *)
+val partition_markers : string -> string list

@@ -12,6 +12,11 @@ type config = {
   target_lines : int;      (** approximate generated source lines *)
   mix : Shapes.kind list;  (** shape kinds, cycled *)
   bug_ratio : float;       (** fraction of injected defects; 0 = reference *)
+  fuse : int;
+      (** shapes per top-level function: [fuse > 1] groups consecutive
+          shapes into [stage_k] wrappers called from the main loop,
+          mimicking the paper's large macro-expanded computation stages
+          (Sect. 4); [1] (the default) calls every shape directly *)
 }
 
 val default : config

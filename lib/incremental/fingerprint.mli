@@ -1,0 +1,29 @@
+(** Content-addressed fingerprints of the typed IR: a stable hash per
+    function covering its structure, types, transitive callees and the
+    analysis context, excluding source locations and dense variable ids
+    — so whitespace/comment edits keep every fingerprint while a body
+    edit invalidates the edited function and its transitive callers. *)
+
+type t
+
+(** Fingerprint every function of [p] under [cfg] (builds a throwaway
+    context with the frozen program-order cell numbering). *)
+val make : Astree_core.Config.t -> Astree_frontend.Tast.program -> t
+
+(** Fingerprint against an existing, cell-pre-filled context. *)
+val of_actx : Astree_core.Transfer.actx -> t
+
+(** Digest of every result-affecting configuration field ([jobs] and
+    [summary_cache] excluded: both are result-neutral). *)
+val config_digest : Astree_core.Config.t -> string
+
+(** The shared context digest: configuration, target, struct layouts,
+    volatile-input ranges, entry point, frozen cell numbering. *)
+val context : t -> string
+
+(** Fingerprint of one function; [None] when not cacheable (on a call
+    cycle or calling an unknown function). *)
+val fn : t -> string -> string option
+
+(** Whole-program fingerprint — names the on-disk store file. *)
+val program : t -> string

@@ -1,0 +1,89 @@
+(** On-disk summary store: one file per program fingerprint.
+
+    Each file is a versioned magic header followed by a [Marshal]ed
+    payload tagged with the OCaml version (marshalling is not stable
+    across compiler versions) and the program fingerprint it was saved
+    under.  Writes go through a temporary file and an atomic rename, so
+    concurrent batch workers and interrupted runs can never leave a
+    half-written store.  Loading is strictly best-effort: a missing,
+    truncated, corrupt, stale or foreign file yields an empty summary
+    list and a warning on stderr — the cache degrades to cold, it never
+    fails an analysis. *)
+
+module C = Astree_core
+
+let magic = "astree-summary-store v1\n"
+
+type entries = (C.Iterator.summary_key * C.Iterator.summary) array
+
+let file_of ~(dir : string) ~(key : string) : string =
+  Filename.concat dir (key ^ ".summaries")
+
+let warn fmt =
+  Format.kasprintf (fun s -> prerr_endline ("astree: warning: " ^ s)) fmt
+
+let rec mkdir_p (dir : string) : unit =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let load ~(dir : string) ~(key : string) :
+    (C.Iterator.summary_key * C.Iterator.summary) list =
+  let file = file_of ~dir ~key in
+  if not (Sys.file_exists file) then []
+  else
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let hdr = really_input_string ic (String.length magic) in
+          if hdr <> magic then begin
+            warn "summary store %s: bad magic, ignored" file;
+            []
+          end
+          else
+            let ver, stored_key, (entries : entries) =
+              (Marshal.from_channel ic
+                : string * string * entries)
+            in
+            if ver <> Sys.ocaml_version then begin
+              warn "summary store %s: written by OCaml %s, ignored" file ver;
+              []
+            end
+            else if stored_key <> key then begin
+              warn "summary store %s: stale program fingerprint, ignored" file;
+              []
+            end
+            else Array.to_list entries)
+    with
+    | Sys_error msg ->
+        warn "summary store %s: %s, ignored" file msg;
+        []
+    | End_of_file | Failure _ ->
+        warn "summary store %s: truncated or corrupt, ignored" file;
+        []
+
+let save ~(dir : string) ~(key : string)
+    (entries : (C.Iterator.summary_key * C.Iterator.summary) list) : unit =
+  try
+    mkdir_p dir;
+    let tmp = Filename.temp_file ~temp_dir:dir "summaries" ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        (* sharing-preserving marshal: summary exit states share most of
+           their structure (packs, trees), and expanding it would blow
+           the file up by orders of magnitude.  Only [entry_digest]
+           needs the canonical No_sharing form; the store blob does
+           not. *)
+        Marshal.to_channel oc
+          (Sys.ocaml_version, key, (Array.of_list entries : entries))
+          []);
+    Sys.rename tmp (file_of ~dir ~key)
+  with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+    warn "summary store not saved in %s: %s" dir msg

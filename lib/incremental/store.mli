@@ -1,0 +1,19 @@
+(** On-disk summary store: one versioned file per program fingerprint,
+    written atomically; any unreadable file degrades to an empty load
+    with a warning on stderr, never an error. *)
+
+(** Load the summaries saved under program fingerprint [key] in [dir].
+    Missing, truncated, corrupt, version-skewed or stale files yield
+    []. *)
+val load :
+  dir:string ->
+  key:string ->
+  (Astree_core.Iterator.summary_key * Astree_core.Iterator.summary) list
+
+(** Atomically (re)write the store file for [key], creating [dir] if
+    needed.  Failures warn and leave any previous file intact. *)
+val save :
+  dir:string ->
+  key:string ->
+  (Astree_core.Iterator.summary_key * Astree_core.Iterator.summary) list ->
+  unit

@@ -1,0 +1,187 @@
+(** The summary-cache driver: keys, table, and the [Analysis.cache_driver]
+    implementation.
+
+    A summary is reused only for the exact key it was computed under —
+    callee content fingerprint (which folds the whole analysis context,
+    {!Fingerprint}), a digest of the exact abstract entry state together
+    with the by-reference bindings, and the alarm-collector mode.  There
+    is no entailment shortcut: a weaker-entry hit could change the
+    computed invariants, so equality of keys is the proof that a hit is
+    equivalent to re-analysis.
+
+    The driver installs the table through [Iterator.call_memo] before
+    running the wrapped analysis, so the parallel scheduler's forked
+    workers inherit both the table and the pre-loaded store; workers
+    ship fresh summaries back in their job deltas and the parent absorbs
+    them in job order (keep-first, deterministic). *)
+
+module F = Astree_frontend
+module C = Astree_core
+
+(** Digest of the exact abstract entry state of a call, after parameter
+    binding, together with the by-reference bindings.  Marshalling with
+    [No_sharing] is purely structural, and the environment's Patricia
+    trees are shape-canonical per key set, so equal states give equal
+    digests across processes and runs. *)
+let entry_digest (st : C.Astate.t) (binds : C.Transfer.binds) : string =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (st, F.Tast.VarMap.bindings binds)
+          [ Marshal.No_sharing ]))
+
+let key_fn (fps : Fingerprint.t) ~(fname : string) ~(checking : bool)
+    (st : C.Astate.t) (binds : C.Transfer.binds) :
+    C.Iterator.summary_key option =
+  match Fingerprint.fn fps fname with
+  | None -> None
+  | Some fp ->
+      Some
+        {
+          C.Iterator.sk_fn = fp;
+          sk_entry = entry_digest st binds;
+          sk_checking = checking;
+        }
+
+(** Transitive inlined size of each function: own statements plus the
+    inlined statements of every (acyclic) callee.  This, not the local
+    body size, is what a cache hit saves — a thin wrapper around a deep
+    call tree is an excellent memoization point, a large leaf called
+    with a tiny environment a poor one.  Back edges contribute 0
+    (recursive functions are uncacheable anyway: no fingerprint). *)
+let inlined_sizes (p : F.Tast.program) : (string, int) Hashtbl.t =
+  let funs = Hashtbl.create 64 in
+  List.iter (fun (fn, fd) -> Hashtbl.replace funs fn fd) p.F.Tast.p_funs;
+  let sizes : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec size stack fn =
+    match Hashtbl.find_opt sizes fn with
+    | Some n -> n
+    | None -> (
+        match Hashtbl.find_opt funs fn with
+        | None -> 0
+        | Some fd ->
+            if List.mem fn stack then 0
+            else begin
+              let n = ref (F.Tast.block_size fd.F.Tast.fd_body) in
+              F.Tast.iter_stmts
+                (fun s ->
+                  match s.F.Tast.sdesc with
+                  | F.Tast.Scall (_, callee, _) ->
+                      n := !n + size (fn :: stack) callee
+                  | _ -> ())
+                fd.F.Tast.fd_body;
+              Hashtbl.replace sizes fn !n;
+              !n
+            end)
+  in
+  List.iter (fun (fn, _) -> ignore (size [] fn)) p.F.Tast.p_funs;
+  sizes
+
+(* ------------------------------------------------------------------ *)
+(* Session                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type session = {
+  ss_fps : Fingerprint.t;
+  ss_tbl : (C.Iterator.summary_key, C.Iterator.summary) Hashtbl.t;
+  ss_memo : C.Iterator.call_memo;
+  ss_loaded : int;
+  ss_load_time : float;
+}
+
+(** Fingerprint the program, build the summary table (populated from
+    the on-disk store under [Cache_dir]) and install it in the
+    iterator.  Call before the analysis — and before the parallel pool
+    forks, so workers inherit the hot table. *)
+let attach (cfg : C.Config.t) (p : F.Tast.program) : session =
+  let fps = Fingerprint.make cfg p in
+  let tbl = Hashtbl.create 1024 in
+  let loaded, load_time =
+    match cfg.C.Config.summary_cache with
+    | C.Config.Cache_dir dir ->
+        let t0 = Unix.gettimeofday () in
+        let entries = Store.load ~dir ~key:(Fingerprint.program fps) in
+        List.iter
+          (fun (k, s) -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k s)
+          entries;
+        (List.length entries, Unix.gettimeofday () -. t0)
+    | _ -> (0, 0.)
+  in
+  let memo =
+    {
+      C.Iterator.cm_key = key_fn fps;
+      cm_find = Hashtbl.find_opt tbl;
+      (* keep-first: a key determines its summary, so re-adding (e.g.
+         replaying worker deltas) can never change an entry *)
+      cm_add =
+        (fun k s -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k s);
+      cm_fresh = ref [];
+      cm_hits = ref 0;
+      cm_misses = ref 0;
+      cm_want =
+        (let sizes = inlined_sizes p in
+         let min_stmts = !C.Iterator.memo_min_stmts in
+         fun fn ->
+           match Hashtbl.find_opt sizes fn with
+           | Some n -> n >= min_stmts
+           | None -> false);
+    }
+  in
+  C.Iterator.call_memo := Some memo;
+  {
+    ss_fps = fps;
+    ss_tbl = tbl;
+    ss_memo = memo;
+    ss_loaded = loaded;
+    ss_load_time = load_time;
+  }
+
+(** Uninstall the table; under [Cache_dir] and [save:true], persist it
+    first.  Returns the cache counters for the run. *)
+let detach ?(save = true) (cfg : C.Config.t) (ss : session) :
+    C.Analysis.cache_stats =
+  C.Iterator.call_memo := None;
+  let save_time =
+    match cfg.C.Config.summary_cache with
+    | C.Config.Cache_dir dir when save ->
+        let t0 = Unix.gettimeofday () in
+        Store.save ~dir
+          ~key:(Fingerprint.program ss.ss_fps)
+          (Hashtbl.fold (fun k s acc -> (k, s) :: acc) ss.ss_tbl []);
+        Unix.gettimeofday () -. t0
+    | _ -> 0.
+  in
+  {
+    C.Analysis.c_hits = !(ss.ss_memo.C.Iterator.cm_hits);
+    c_misses = !(ss.ss_memo.C.Iterator.cm_misses);
+    c_entries = Hashtbl.length ss.ss_tbl;
+    c_loaded = ss.ss_loaded;
+    c_load_time = ss.ss_load_time;
+    c_save_time = save_time;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let driver (cfg : C.Config.t) (p : F.Tast.program)
+    (core : unit -> C.Analysis.result) : C.Analysis.result =
+  let ss = attach cfg p in
+  let r =
+    try core ()
+    with e ->
+      (* failed analyses save nothing: a partial table is valid, but an
+         aborted run should leave the store exactly as it found it *)
+      ignore (detach ~save:false cfg ss);
+      raise e
+  in
+  let cstats = detach cfg ss in
+  {
+    r with
+    C.Analysis.r_stats =
+      { r.C.Analysis.r_stats with C.Analysis.s_cache = Some cstats };
+  }
+
+(** Install the summary-cache driver; analyses with
+    [Config.cache_enabled] are wrapped from then on. *)
+let register () = C.Analysis.cache_driver := Some driver

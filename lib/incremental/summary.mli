@@ -1,0 +1,44 @@
+(** Function-summary cache: exact-key memoization of polyvariant call
+    analyses, with optional cross-run persistence ({!Store}).  Keys are
+    (callee content fingerprint, abstract entry-state digest, checking
+    mode) — equality of keys proves a hit equivalent to re-analysis. *)
+
+module F = Astree_frontend
+module C = Astree_core
+
+(** Digest of an exact abstract entry state with its by-reference
+    bindings (canonical across processes and runs). *)
+val entry_digest : C.Astate.t -> C.Transfer.binds -> string
+
+(** Key derivation used by the installed memo; [None] when the callee
+    has no fingerprint (recursive / unknown). *)
+val key_fn :
+  Fingerprint.t ->
+  fname:string ->
+  checking:bool ->
+  C.Astate.t ->
+  C.Transfer.binds ->
+  C.Iterator.summary_key option
+
+(** A live cache session: the fingerprints, the table and its memo
+    interface, plus store-load accounting. *)
+type session
+
+(** Fingerprint the program, populate the table from the on-disk store
+    (under [Cache_dir]) and install it via [Iterator.call_memo]. *)
+val attach : C.Config.t -> F.Tast.program -> session
+
+(** Uninstall the table, persisting it first under [Cache_dir] unless
+    [save:false]; returns the run's cache counters. *)
+val detach : ?save:bool -> C.Config.t -> session -> C.Analysis.cache_stats
+
+(** The [Analysis.cache_driver] implementation: attach, run, detach,
+    and fill [s_cache] in the result's statistics. *)
+val driver :
+  C.Config.t ->
+  F.Tast.program ->
+  (unit -> C.Analysis.result) ->
+  C.Analysis.result
+
+(** Install {!driver} as [Analysis.cache_driver]. *)
+val register : unit -> unit

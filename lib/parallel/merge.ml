@@ -29,7 +29,25 @@ let join_states (sts : C.Astate.t list) : C.Astate.t =
   List.fold_left C.Astate.join C.Astate.bottom sts
 
 (** Aggregate statistics of a batch of runs: integer fields and times
-    are summed (an aggregate total, not a per-run average). *)
+    are summed (an aggregate total, not a per-run average).  Cache
+    counters sum member-wise; the aggregate carries [Some] as soon as
+    any member enabled the cache ([None] counts as all-zero), so a
+    cache-less batch prints exactly as before. *)
+let sum_cache_stats (a : C.Analysis.cache_stats option)
+    (b : C.Analysis.cache_stats option) : C.Analysis.cache_stats option =
+  match (a, b) with
+  | None, c | c, None -> c
+  | Some x, Some y ->
+      Some
+        {
+          C.Analysis.c_hits = x.C.Analysis.c_hits + y.C.Analysis.c_hits;
+          c_misses = x.c_misses + y.c_misses;
+          c_entries = x.c_entries + y.c_entries;
+          c_loaded = x.c_loaded + y.c_loaded;
+          c_load_time = x.c_load_time +. y.c_load_time;
+          c_save_time = x.c_save_time +. y.c_save_time;
+        }
+
 let sum_stats (ss : C.Analysis.stats list) : C.Analysis.stats =
   List.fold_left
     (fun (acc : C.Analysis.stats) (s : C.Analysis.stats) ->
@@ -44,6 +62,7 @@ let sum_stats (ss : C.Analysis.stats list) : C.Analysis.stats =
         s_ell_packs = acc.s_ell_packs + s.s_ell_packs;
         s_dt_packs = acc.s_dt_packs + s.s_dt_packs;
         s_time = acc.s_time +. s.s_time;
+        s_cache = sum_cache_stats acc.s_cache s.s_cache;
       })
     {
       C.Analysis.s_globals_before = 0;
@@ -55,6 +74,7 @@ let sum_stats (ss : C.Analysis.stats list) : C.Analysis.stats =
       s_ell_packs = 0;
       s_dt_packs = 0;
       s_time = 0.;
+      s_cache = None;
     }
     ss
 

@@ -115,6 +115,31 @@ let test_preproc_undef () =
   let out = F.Preproc.run ~file:"t" "#define A 1\n#undef A\n#ifdef A\nyes\n#endif\n" in
   Alcotest.(check bool) "undefined" false (contains out "yes")
 
+let test_partition_markers () =
+  Alcotest.(check (list string))
+    "single space"
+    [ "f"; "g" ]
+    (F.Preproc.partition_markers "/* astree-partition: f g */");
+  (* arbitrary whitespace after the colon and between names: tabs,
+     multiple spaces, newlines *)
+  Alcotest.(check (list string))
+    "tab separated"
+    [ "f"; "g" ]
+    (F.Preproc.partition_markers "/* astree-partition:\tf\tg */");
+  Alcotest.(check (list string))
+    "mixed whitespace"
+    [ "a"; "b"; "c" ]
+    (F.Preproc.partition_markers
+       "int x;\n/* astree-partition:   a\n   b\tc\n*/\nint y;");
+  Alcotest.(check (list string))
+    "several markers, deduplicated and sorted"
+    [ "f"; "g"; "h" ]
+    (F.Preproc.partition_markers
+       "/* astree-partition: g f */ code /* astree-partition:\th */");
+  Alcotest.(check (list string))
+    "no marker" []
+    (F.Preproc.partition_markers "int main(void) { return 0; }")
+
 (* ------------------------------------------------------------------ *)
 (* Parser / elaboration                                                *)
 (* ------------------------------------------------------------------ *)
@@ -437,6 +462,7 @@ let suite =
     Alcotest.test_case "preproc include" `Quick test_preproc_include;
     Alcotest.test_case "preproc self-recursion guard" `Quick test_preproc_no_self_recursion;
     Alcotest.test_case "preproc undef" `Quick test_preproc_undef;
+    Alcotest.test_case "partition markers" `Quick test_partition_markers;
     Alcotest.test_case "parse minimal" `Quick test_parse_minimal;
     Alcotest.test_case "precedence + folding" `Quick test_parse_precedence;
     Alcotest.test_case "enum + sizeof" `Quick test_enum_and_sizeof;

@@ -99,9 +99,34 @@ let test_globals_linear_in_size () =
   Alcotest.(check bool) "linear density" true
     (density2 > 0.5 *. density1 && density2 < 2.0 *. density1)
 
+(* fuse > 1 wraps the shapes in stage functions without changing what
+   the program computes: same shapes, same (absent) alarms *)
+let test_fuse_stages () =
+  let cfg = { G.Generator.default with G.Generator.target_lines = 300 } in
+  let flat = G.Generator.generate cfg in
+  let fused = G.Generator.generate { cfg with G.Generator.fuse = 4 } in
+  Alcotest.(check int)
+    "same shape census" flat.G.Generator.n_shapes fused.G.Generator.n_shapes;
+  Alcotest.(check bool)
+    "stage functions emitted" true
+    (let re = "stage_0" in
+     let s = fused.G.Generator.source in
+     let n = String.length s and m = String.length re in
+     let rec find i = i + m <= n && (String.sub s i m = re || find (i + 1)) in
+     find 0);
+  let acfg =
+    {
+      C.Config.default with
+      C.Config.partitioned_functions = fused.G.Generator.partition_fns;
+    }
+  in
+  let r = C.Analysis.analyze_string ~cfg:acfg fused.G.Generator.source in
+  Alcotest.(check int) "fused member has no alarms" 0 (C.Analysis.n_alarms r)
+
 let suite =
   [
     Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "fused stages verify" `Quick test_fuse_stages;
     Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_output;
     Alcotest.test_case "size scaling" `Quick test_size_scaling;
     Alcotest.test_case "every shape compiles" `Quick test_every_shape_compiles_alone;

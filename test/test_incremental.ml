@@ -1,0 +1,472 @@
+(* Incremental-subsystem tests: fingerprints are stable under
+   whitespace/comment edits and invalidate through the callee closure;
+   warm runs (in-memory and on-disk, sequential and parallel) reproduce
+   the cold result exactly; corrupt stores degrade to cold, never
+   fail. *)
+
+module C = Astree_core
+module F = Astree_frontend
+module G = Astree_gen
+module I = Astree_incremental
+module P = Astree_parallel
+
+(* ---------------- fingerprints ---------------- *)
+
+let base_src =
+  {|
+volatile float input;
+float acc;
+float aux;
+
+float scale(float x) {
+  float y;
+  y = x * 0.5f;
+  if (y > 10.0f) { y = 10.0f; }
+  return y;
+}
+
+float step(float x) {
+  float s;
+  s = scale(x) + 1.0f;
+  return s;
+}
+
+float other(float x) {
+  return x - 2.0f;
+}
+
+int main(void) {
+  __astree_input_range(input, -100.0, 100.0);
+  acc = 0.0f; aux = 0.0f;
+  while (1) {
+    acc = step(input);
+    aux = other(input);
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+(* same program, only comments and whitespace moved around *)
+let whitespace_src =
+  {|
+/* a comment that was not there before */
+volatile float input;
+float acc;
+float aux;
+
+
+float scale(float x) {
+  float y;   /* trailing comment */
+  y = x * 0.5f;
+  if (y > 10.0f) {
+      y = 10.0f;
+  }
+  return y;
+}
+
+float step(float x) {
+  float s;
+  s = scale(x) + 1.0f;
+  return s;
+}
+
+float other(float x) { return x - 2.0f; }
+
+int main(void) {
+  __astree_input_range(input, -100.0, 100.0);
+  acc = 0.0f;
+  aux = 0.0f;
+  while (1) {
+    acc = step(input);
+    aux = other(input);
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+(* one constant changed inside [scale] *)
+let edited_src =
+  {|
+volatile float input;
+float acc;
+float aux;
+
+float scale(float x) {
+  float y;
+  y = x * 0.25f;
+  if (y > 10.0f) { y = 10.0f; }
+  return y;
+}
+
+float step(float x) {
+  float s;
+  s = scale(x) + 1.0f;
+  return s;
+}
+
+float other(float x) {
+  return x - 2.0f;
+}
+
+int main(void) {
+  __astree_input_range(input, -100.0, 100.0);
+  acc = 0.0f; aux = 0.0f;
+  while (1) {
+    acc = step(input);
+    aux = other(input);
+    __astree_wait_for_clock();
+  }
+  return 0;
+}
+|}
+
+let fps_of src =
+  let p, _ = C.Analysis.compile [ ("t.c", src) ] in
+  I.Fingerprint.make C.Config.default p
+
+let fn_exn fps name =
+  match I.Fingerprint.fn fps name with
+  | Some h -> h
+  | None -> Alcotest.failf "no fingerprint for %s" name
+
+let test_fp_deterministic () =
+  let a = fps_of base_src and b = fps_of base_src in
+  Alcotest.(check string)
+    "program fingerprint reproducible"
+    (I.Fingerprint.program a) (I.Fingerprint.program b);
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        (f ^ " reproducible") (fn_exn a f) (fn_exn b f))
+    [ "scale"; "step"; "other"; "main" ]
+
+let test_fp_whitespace_stable () =
+  let a = fps_of base_src and b = fps_of whitespace_src in
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        (f ^ " unchanged by whitespace/comments")
+        (fn_exn a f) (fn_exn b f))
+    [ "scale"; "step"; "other"; "main" ];
+  Alcotest.(check string)
+    "program fingerprint unchanged"
+    (I.Fingerprint.program a) (I.Fingerprint.program b)
+
+let test_fp_edit_propagates () =
+  let a = fps_of base_src and b = fps_of edited_src in
+  Alcotest.(check bool)
+    "edited callee changed" true
+    (fn_exn a "scale" <> fn_exn b "scale");
+  Alcotest.(check bool)
+    "caller changed through the closure" true
+    (fn_exn a "step" <> fn_exn b "step");
+  Alcotest.(check bool)
+    "transitive caller (main) changed" true
+    (fn_exn a "main" <> fn_exn b "main");
+  Alcotest.(check string)
+    "unrelated function unchanged" (fn_exn a "other") (fn_exn b "other");
+  Alcotest.(check bool)
+    "program fingerprint changed" true
+    (I.Fingerprint.program a <> I.Fingerprint.program b)
+
+let test_fp_config_sensitivity () =
+  let p, _ = C.Analysis.compile [ ("t.c", base_src) ] in
+  let base = I.Fingerprint.make C.Config.default p in
+  let nooct =
+    I.Fingerprint.make
+      { C.Config.default with C.Config.use_octagons = false }
+      p
+  in
+  Alcotest.(check bool)
+    "domain selection is part of every fingerprint" true
+    (fn_exn base "scale" <> fn_exn nooct "scale");
+  (* jobs and the cache mode itself are result-neutral: excluded, so a
+     -j1 warm run may reuse a -j4 store *)
+  let j4 =
+    I.Fingerprint.make
+      {
+        C.Config.default with
+        C.Config.jobs = 4;
+        summary_cache = C.Config.Cache_mem;
+      }
+      p
+  in
+  Alcotest.(check string)
+    "jobs/cache excluded from the config digest"
+    (fn_exn base "scale") (fn_exn j4 "scale")
+
+(* ---------------- warm = cold = off ---------------- *)
+
+let with_cache_driver k =
+  I.Summary.register ();
+  (* the test programs' helpers are tiny; memoize everything so hit
+     counters are exercised *)
+  let min0 = !C.Iterator.memo_min_stmts in
+  C.Iterator.memo_min_stmts := 0;
+  Fun.protect
+    ~finally:(fun () ->
+      C.Analysis.cache_driver := None;
+      C.Iterator.call_memo := None;
+      C.Iterator.memo_min_stmts := min0)
+    k
+
+let with_tmpdir k =
+  match Sys.getenv_opt "ASTREE_TEST_CACHE" with
+  | Some dir when dir <> "" ->
+      (* persistent store shared across whole suite runs (CI runs the
+         suite twice against it to exercise the warm path end to end);
+         every assertion below holds on a pre-populated store, and
+         nothing is cleaned up *)
+      k dir
+  | _ ->
+      let dir = Filename.temp_file "astree-cache" "" in
+      Sys.remove dir;
+      Fun.protect
+        ~finally:(fun () ->
+          if Sys.file_exists dir then begin
+            Array.iter
+              (fun f -> Sys.remove (Filename.concat dir f))
+              (Sys.readdir dir);
+            Sys.rmdir dir
+          end)
+        (fun () -> k dir)
+
+let cache_stats_exn (r : C.Analysis.result) =
+  match r.C.Analysis.r_stats.C.Analysis.s_cache with
+  | Some c -> c
+  | None -> Alcotest.fail "expected cache statistics"
+
+(* cold store run, warm store run and cache-off run must all agree on
+   the one digest that covers alarms, census and final state; the warm
+   run must be all hits *)
+let check_warm_equals_cold ~name (cfg : C.Config.t) (p : F.Tast.program) =
+  with_tmpdir (fun dir ->
+      let off = C.Analysis.analyze ~cfg p in
+      with_cache_driver (fun () ->
+          let ccfg =
+            { cfg with C.Config.summary_cache = C.Config.Cache_dir dir }
+          in
+          let cold = C.Analysis.analyze ~cfg:ccfg p in
+          let warm = C.Analysis.analyze ~cfg:ccfg p in
+          Alcotest.(check string)
+            (name ^ ": cold = off")
+            (P.Merge.fingerprint off) (P.Merge.fingerprint cold);
+          Alcotest.(check string)
+            (name ^ ": warm = off")
+            (P.Merge.fingerprint off) (P.Merge.fingerprint warm);
+          let cs = cache_stats_exn warm in
+          Alcotest.(check bool)
+            (name ^ ": warm run hits") true
+            (cs.C.Analysis.c_hits > 0);
+          Alcotest.(check int) (name ^ ": warm run misses") 0
+            cs.C.Analysis.c_misses;
+          Alcotest.(check bool)
+            (name ^ ": store was loaded") true
+            (cs.C.Analysis.c_loaded > 0)))
+
+(* tests run from the dune sandbox; walk up to the repository root *)
+let read_example name =
+  let rec find dir depth =
+    let cand =
+      Filename.concat dir (Filename.concat "examples/data" name)
+    in
+    if Sys.file_exists cand then Some cand
+    else if depth = 0 then None
+    else find (Filename.dirname dir) (depth - 1)
+  in
+  match find (Sys.getcwd ()) 6 with
+  | None -> None
+  | Some path ->
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some s
+
+let mini_fbw_src = lazy (read_example "mini_fbw.c")
+
+let with_mini_fbw k =
+  match Lazy.force mini_fbw_src with
+  | None -> Alcotest.skip ()
+  | Some src -> k src
+
+let test_warm_mini_fbw_seq () =
+  with_mini_fbw (fun src ->
+      let p, _ = C.Analysis.compile [ ("mini_fbw.c", src) ] in
+      let cfg =
+        {
+          C.Config.default with
+          C.Config.partitioned_functions = [ "select_gain" ];
+        }
+      in
+      check_warm_equals_cold ~name:"mini_fbw -j1" cfg p)
+
+let test_warm_mini_fbw_par () =
+  with_mini_fbw (fun src ->
+      let p, _ = C.Analysis.compile [ ("mini_fbw.c", src) ] in
+      let cfg =
+        {
+          C.Config.default with
+          C.Config.jobs = 4;
+          partitioned_functions = [ "select_gain" ];
+        }
+      in
+      P.Scheduler.register ();
+      Fun.protect
+        ~finally:(fun () -> C.Analysis.parallel_driver := None)
+        (fun () -> check_warm_equals_cold ~name:"mini_fbw -j4" cfg p))
+
+let member_program () =
+  let g =
+    G.Generator.generate
+      { G.Generator.default with G.Generator.seed = 5; target_lines = 400 }
+  in
+  let p, _ = C.Analysis.compile [ ("m.c", g.G.Generator.source) ] in
+  ( {
+      C.Config.default with
+      C.Config.partitioned_functions = g.G.Generator.partition_fns;
+    },
+    p )
+
+let test_warm_member_seq () =
+  let cfg, p = member_program () in
+  check_warm_equals_cold ~name:"member -j1" cfg p
+
+let test_warm_member_par () =
+  let cfg, p = member_program () in
+  P.Scheduler.register ();
+  Fun.protect
+    ~finally:(fun () -> C.Analysis.parallel_driver := None)
+    (fun () ->
+      check_warm_equals_cold ~name:"member -j4"
+        { cfg with C.Config.jobs = 4 }
+        p)
+
+let test_mem_cache_equiv () =
+  with_mini_fbw (fun src ->
+      let p, _ = C.Analysis.compile [ ("mini_fbw.c", src) ] in
+      let cfg =
+        {
+          C.Config.default with
+          C.Config.partitioned_functions = [ "select_gain" ];
+        }
+      in
+      let off = C.Analysis.analyze ~cfg p in
+      with_cache_driver (fun () ->
+          let r =
+            C.Analysis.analyze
+              ~cfg:{ cfg with C.Config.summary_cache = C.Config.Cache_mem }
+              p
+          in
+          Alcotest.(check string)
+            "in-memory cache result identical"
+            (P.Merge.fingerprint off) (P.Merge.fingerprint r);
+          (* the main loop revisits the same call contexts while
+             iterating: even one run hits *)
+          Alcotest.(check bool)
+            "intra-run hits" true
+            ((cache_stats_exn r).C.Analysis.c_hits > 0)))
+
+(* ---------------- store robustness ---------------- *)
+
+(* the store file of [p] under [cfg]: one file per program fingerprint,
+   so a shared ASTREE_TEST_CACHE directory holding other programs'
+   stores does not confuse the test *)
+let store_file dir cfg p =
+  let fps = I.Fingerprint.make cfg p in
+  Filename.concat dir (I.Fingerprint.program fps ^ ".summaries")
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_store_corruption () =
+  with_mini_fbw (fun src ->
+      let p, _ = C.Analysis.compile [ ("mini_fbw.c", src) ] in
+      let cfg = C.Config.default in
+      let off = C.Analysis.analyze ~cfg p in
+      with_tmpdir (fun dir ->
+          with_cache_driver (fun () ->
+              let ccfg =
+                { cfg with C.Config.summary_cache = C.Config.Cache_dir dir }
+              in
+              let check_degraded name =
+                let r = C.Analysis.analyze ~cfg:ccfg p in
+                Alcotest.(check string)
+                  (name ^ ": result identical")
+                  (P.Merge.fingerprint off) (P.Merge.fingerprint r);
+                Alcotest.(check int)
+                  (name ^ ": nothing loaded")
+                  0
+                  (cache_stats_exn r).C.Analysis.c_loaded
+              in
+              (* garbage in place of a store file *)
+              ignore (C.Analysis.analyze ~cfg:ccfg p);
+              let file = store_file dir ccfg p in
+              write_file file "not a summary store at all";
+              check_degraded "garbage";
+              (* truncated store: valid magic, payload cut short *)
+              ignore (C.Analysis.analyze ~cfg:ccfg p);
+              let full = In_channel.with_open_bin file In_channel.input_all in
+              write_file file (String.sub full 0 (String.length full / 3));
+              check_degraded "truncated";
+              (* empty file *)
+              write_file file "";
+              check_degraded "empty")))
+
+(* every example in the repository: warm, cold and cache-less runs must
+   agree on the result fingerprint (alarms + census + final state) *)
+let test_warm_all_examples () =
+  List.iter
+    (fun name ->
+      match read_example name with
+      | None -> ()
+      | Some src ->
+          let p, _ = C.Analysis.compile [ (name, src) ] in
+          let cfg = C.Config.default in
+          let off = C.Analysis.analyze ~cfg p in
+          with_tmpdir (fun dir ->
+              with_cache_driver (fun () ->
+                  let ccfg =
+                    {
+                      cfg with
+                      C.Config.summary_cache = C.Config.Cache_dir dir;
+                    }
+                  in
+                  let cold = C.Analysis.analyze ~cfg:ccfg p in
+                  let warm = C.Analysis.analyze ~cfg:ccfg p in
+                  Alcotest.(check string)
+                    (name ^ ": cold = off")
+                    (P.Merge.fingerprint off) (P.Merge.fingerprint cold);
+                  Alcotest.(check string)
+                    (name ^ ": warm = off")
+                    (P.Merge.fingerprint off) (P.Merge.fingerprint warm))))
+    [ "mini_fbw.c"; "filter_bank.c"; "buggy_demo.c" ]
+
+let suite =
+  [
+    Alcotest.test_case "fingerprint: deterministic" `Quick
+      test_fp_deterministic;
+    Alcotest.test_case "fingerprint: whitespace/comment stable" `Quick
+      test_fp_whitespace_stable;
+    Alcotest.test_case "fingerprint: edits reach callers" `Quick
+      test_fp_edit_propagates;
+    Alcotest.test_case "fingerprint: config sensitivity" `Quick
+      test_fp_config_sensitivity;
+    Alcotest.test_case "warm = cold: mini_fbw -j1" `Quick
+      test_warm_mini_fbw_seq;
+    Alcotest.test_case "warm = cold: mini_fbw -j4" `Quick
+      test_warm_mini_fbw_par;
+    Alcotest.test_case "warm = cold: family member -j1" `Slow
+      test_warm_member_seq;
+    Alcotest.test_case "warm = cold: family member -j4" `Slow
+      test_warm_member_par;
+    Alcotest.test_case "in-memory cache equivalence" `Quick
+      test_mem_cache_equiv;
+    Alcotest.test_case "warm = cold: every example" `Quick
+      test_warm_all_examples;
+    Alcotest.test_case "store: corrupt files degrade to cold" `Quick
+      test_store_corruption;
+  ]

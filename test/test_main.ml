@@ -24,5 +24,6 @@ let () =
       ("slicer", Test_slicer.suite);
       ("samples", Test_samples.suite);
       ("parallel", Test_parallel.suite);
+      ("incremental", Test_incremental.suite);
       ("soundness", Test_soundness.suite);
     ]

@@ -66,6 +66,7 @@ let prop_concrete_errors_alarmed =
             target_lines = 150;
             mix = G.Shapes.all_safe_kinds;
             bug_ratio = 0.3;
+            fuse = 1;
           }
       in
       let p = compile g.G.Generator.source in
@@ -85,6 +86,7 @@ let prop_no_alarm_no_error =
             target_lines = 200;
             mix = G.Shapes.all_safe_kinds;
             bug_ratio = 0.0;
+            fuse = 1;
           }
       in
       let p = compile g.G.Generator.source in
@@ -107,6 +109,7 @@ let prop_invariant_covers_trajectories =
               [ G.Shapes.Filter; G.Shapes.Rate_limiter; G.Shapes.Integrator;
                 G.Shapes.Lag; G.Shapes.Counter ];
             bug_ratio = 0.0;
+            fuse = 1;
           }
       in
       let p = compile g.G.Generator.source in
