@@ -3,12 +3,14 @@
    Regenerates every table and figure of the paper's evaluation
    (Sect. 8, plus the quantified claims of Sect. 6.1.2, 7.1, 7.2 and
    9.4.1) on the synthetic program family.  See DESIGN.md for the
-   experiment index (E1-E9) and EXPERIMENTS.md for recorded results.
+   experiment index (E1-E12) and EXPERIMENTS.md for recorded results.
 
      dune exec bench/main.exe            # all experiments, default sizes
      dune exec bench/main.exe -- e1 e3   # selected experiments
      dune exec bench/main.exe -- micro   # bechamel micro-benchmarks
      dune exec bench/main.exe -- --full  # larger (slower) E1 sweep
+     dune exec bench/main.exe -- --quick # smaller E12 workload (CI smoke)
+     dune exec bench/main.exe -- --json out.json   # machine-readable results
 
    Absolute times are not comparable with the paper's 2003 hardware; the
    claims checked are the *shapes*: scaling curve, alarm-reduction
@@ -30,6 +32,23 @@ let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* machine-readable results (--json FILE): each experiment may record a
+   pre-serialized JSON value under its name; the driver writes one object
+   with everything that ran.  CI's bench-smoke job uploads this file. *)
+let json_results : (string * string) list ref = ref []
+let json_record key value = json_results := (key, value) :: !json_results
+
+let json_write path =
+  let fields =
+    List.rev_map
+      (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v)
+      !json_results
+  in
+  let oc = open_out path in
+  output_string oc ("{" ^ String.concat ", " fields ^ "}\n");
+  close_out oc;
+  Fmt.pr "@.results written to %s@." path
 
 let analyze ?(cfg = C.Config.default) (g : G.Generator.generated) =
   C.Analysis.analyze_string ~cfg g.G.Generator.source
@@ -614,6 +633,162 @@ let e11 () =
         (bt_cold /. bt_warm >= 2.0))
 
 (* ------------------------------------------------------------------ *)
+(* E12 - octagon hot path: incremental strong closure                  *)
+(* ------------------------------------------------------------------ *)
+
+let e12 ~quick () =
+  section
+    "E12: octagon hot path - flat DBMs, closure-state tracking and\n\
+     incremental strong closure\n\
+     claims checked: >= 2x total-analysis speedup on an octagon-heavy\n\
+     workload vs the pre-overhaul cost model (every closure request\n\
+     re-runs the full cubic pass), with identical alarms; -j 4 and\n\
+     cache cold/warm fingerprints identical to the -j 1 baseline";
+  (* deep relational workload: per stage function, a cascade of
+     rate-limited first-order lags.  Every tap is linearly coupled to
+     its predecessor, so packing puts the whole cascade in one wide
+     octagon pack; strong closure is Theta(n^3) per call, which is the
+     regime the overhaul targets. *)
+  let stages, width = if quick then (6, 8) else (16, 10) in
+  let src =
+    let buf = Buffer.create 8192 in
+    for s = 0 to stages - 1 do
+      Buffer.add_string buf (Fmt.str "volatile float u%d;\n" s);
+      for v = 0 to width - 1 do
+        Buffer.add_string buf (Fmt.str "float x%d_%d;\n" s v)
+      done;
+      (* output registers: o is scaled so the conversion overflows (one
+         deterministic alarm per stage), p is safely scaled (no alarm);
+         all constants dyadic so every abstract bound is exact in float
+         and alarm messages compare bit for bit across binaries *)
+      Buffer.add_string buf (Fmt.str "short o%d;\nshort p%d;\n" s s)
+    done;
+    for s = 0 to stages - 1 do
+      Buffer.add_string buf (Fmt.str "void stage%d(void) {\n" s);
+      Buffer.add_string buf (Fmt.str "  x%d_0 = u%d;\n" s s);
+      for v = 1 to width - 1 do
+        Buffer.add_string buf
+          (Fmt.str "  x%d_%d = 0.5f * x%d_%d + 0.5f * x%d_%d;\n" s v s v s
+             (v - 1));
+        Buffer.add_string buf
+          (Fmt.str
+             "  if (x%d_%d - x%d_%d > 0.25f) { x%d_%d = x%d_%d + 0.25f; }\n"
+             s v s (v - 1) s v s (v - 1))
+      done;
+      Buffer.add_string buf
+        (Fmt.str "  o%d = (short)(x%d_%d * 65536.0f);\n" s s (width - 1));
+      Buffer.add_string buf
+        (Fmt.str "  p%d = (short)(x%d_%d * 128.0f);\n" s s (width - 1));
+      Buffer.add_string buf "}\n"
+    done;
+    Buffer.add_string buf "int main(void) {\n";
+    for s = 0 to stages - 1 do
+      Buffer.add_string buf
+        (Fmt.str "  __astree_input_range(u%d, -1.0, 1.0);\n" s);
+      for v = 0 to width - 1 do
+        Buffer.add_string buf (Fmt.str "  x%d_%d = 0.0f;\n" s v)
+      done
+    done;
+    Buffer.add_string buf "  while (1) {\n";
+    for s = 0 to stages - 1 do
+      Buffer.add_string buf (Fmt.str "    stage%d();\n" s)
+    done;
+    Buffer.add_string buf
+      "    __astree_wait_for_clock();\n  }\n  return 0;\n}\n";
+    Buffer.contents buf
+  in
+  let n_lines =
+    List.length (String.split_on_char '\n' src)
+  in
+  let cfg = { C.Config.default with C.Config.max_octagon_pack = width } in
+  let p, _ = C.Analysis.compile [ ("e12.c", src) ] in
+  (let widths = Hashtbl.create 8 in
+   List.iter
+     (fun op ->
+       let w = Array.length op.C.Packing.op_vars in
+       Hashtbl.replace widths w
+         (1 + Option.value ~default:0 (Hashtbl.find_opt widths w)))
+     (C.Packing.compute cfg p).C.Packing.octs;
+   let l = Hashtbl.fold (fun w n acc -> (w, n) :: acc) widths [] in
+   Fmt.pr "pack widths (count x width): %a@."
+     Fmt.(list ~sep:sp (pair ~sep:(any "x") int int))
+     (List.sort compare (List.map (fun (w, n) -> (n, w)) l)));
+  let counters () =
+    ( D.Profile.counter D.Profile.oct_close_full,
+      D.Profile.counter D.Profile.oct_close_incr,
+      D.Profile.counter D.Profile.oct_close_skip )
+  in
+  (* A/B inside one binary: [force_full_close] restores the pre-overhaul
+     cost model (the algorithms are equivalent, see test_octagon.ml, so
+     only the work per closure request changes) *)
+  D.Octagon.force_full_close := true;
+  D.Profile.reset ();
+  let r_full, t_full = time (fun () -> C.Analysis.analyze ~cfg p) in
+  let ff, fi, fs = counters () in
+  D.Octagon.force_full_close := false;
+  D.Profile.reset ();
+  let r_incr, t_incr = time (fun () -> C.Analysis.analyze ~cfg p) in
+  let nf, ni, ns = counters () in
+  let speedup = t_full /. Float.max t_incr 1e-9 in
+  let alarms_same = r_full.C.Analysis.r_alarms = r_incr.C.Analysis.r_alarms in
+  Fmt.pr "workload: %d lines, %d stages of a %d-tap cascade, %d octagon packs, %d alarms@."
+    n_lines stages width r_incr.C.Analysis.r_stats.C.Analysis.s_oct_packs
+    (C.Analysis.n_alarms r_incr);
+  Fmt.pr "%-22s %10s %9s   %s@." "closure strategy" "time(s)" "speedup"
+    "closures full/incr/skipped";
+  Fmt.pr "%-22s %10.2f %9s   %d / %d / %d@." "full (pre-overhaul)" t_full
+    "1.00x" ff fi fs;
+  Fmt.pr "%-22s %10.2f %8.2fx   %d / %d / %d@." "incremental" t_incr speedup
+    nf ni ns;
+  Fmt.pr "identical alarms: %b   >= 2x faster: %b@." alarms_same
+    (speedup >= 2.0);
+  (* determinism matrix: -j 4 and cache cold/warm must reproduce the
+     -j 1 cache-off fingerprint bit for bit *)
+  let f1 = P.Merge.fingerprint r_incr in
+  let r_j4 =
+    P.Scheduler.analyze ~cfg:{ cfg with C.Config.jobs = 4 } p
+  in
+  let j4_same = P.Merge.fingerprint r_j4 = f1 in
+  Fmt.pr "-j 4 fingerprint identical to -j 1: %b@." j4_same;
+  I.Summary.register ();
+  let dir = Filename.temp_file "astree-e12" "" in
+  Sys.remove dir;
+  let cold_same, warm_same =
+    Fun.protect
+      ~finally:(fun () ->
+        C.Analysis.cache_driver := None;
+        if Sys.file_exists dir then begin
+          Array.iter
+            (fun f -> Sys.remove (Filename.concat dir f))
+            (Sys.readdir dir);
+          Sys.rmdir dir
+        end)
+      (fun () ->
+        let ccfg =
+          { cfg with C.Config.summary_cache = C.Config.Cache_dir dir }
+        in
+        let r_cold = C.Analysis.analyze ~cfg:ccfg p in
+        let r_warm = C.Analysis.analyze ~cfg:ccfg p in
+        (P.Merge.fingerprint r_cold = f1, P.Merge.fingerprint r_warm = f1))
+  in
+  Fmt.pr "cache cold fingerprint identical: %b@." cold_same;
+  Fmt.pr "cache warm fingerprint identical: %b@." warm_same;
+  json_record "e12"
+    (Printf.sprintf
+       "{\"quick\": %b, \"lines\": %d, \"octagon_packs\": %d, \
+        \"alarms\": %d, \"t_full_close\": %.6f, \"t_incremental\": %.6f, \
+        \"speedup\": %.3f, \"speedup_ge_2x\": %b, \
+        \"alarms_identical\": %b, \"j4_identical\": %b, \
+        \"cache_cold_identical\": %b, \"cache_warm_identical\": %b, \
+        \"closures_full\": %d, \"closures_incremental\": %d, \
+        \"closures_skipped\": %d}"
+       quick n_lines
+       r_incr.C.Analysis.r_stats.C.Analysis.s_oct_packs
+       (C.Analysis.n_alarms r_incr)
+       t_full t_incr speedup (speedup >= 2.0) alarms_same j4_same cold_same
+       warm_same nf ni ns)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -720,7 +895,16 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
-  let args = List.filter (fun a -> a <> "--full") args in
+  let quick = List.mem "--quick" args in
+  let rec take_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | a :: rest -> take_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_path, args = take_json [] args in
+  let args =
+    List.filter (fun a -> a <> "--full" && a <> "--quick") args
+  in
   let all = args = [] || List.mem "all" args in
   let want e = all || List.mem e args in
   if want "e1" then e1 ~full ();
@@ -734,5 +918,7 @@ let () =
   if want "e9" then e9 ();
   if want "e10" then e10 ();
   if want "e11" then e11 ();
+  if want "e12" then e12 ~quick ();
   if want "micro" then micro ();
+  (match json_path with Some path -> json_write path | None -> ());
   Fmt.pr "@.done.@."

@@ -85,10 +85,11 @@ let print_json (r : C.Analysis.result) : unit =
 
 let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
     partitioned max_dt_bools useful_packs jobs cache_dir cache_mem no_cache
-    format dump_invariants dump_census slice_alarms verbose =
+    format dump_invariants dump_census slice_alarms profile verbose =
   if files = [] then `Error (false, "no input files")
   else
     try
+      if profile then Astree_domains.Profile.enabled := true;
       let jobs =
         if jobs = 0 then Astree_parallel.Scheduler.default_jobs ()
         else max 1 jobs
@@ -172,6 +173,9 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
       end;
       if dump_invariants then
         print_string (C.Invariant_dump.to_string r);
+      (* per-domain cumulative timings and counters, on stderr so the
+         regular (text or JSON) output stays byte-identical *)
+      if profile then Astree_domains.Profile.report Format.err_formatter;
       if slice_alarms && r.C.Analysis.r_alarms <> [] then begin
         let g = S.Depgraph.build p in
         List.iter
@@ -225,6 +229,7 @@ let cmd =
         $ flag "dump-invariants" "Print loop invariants"
         $ flag "census" "Print the main-loop invariant census (Sect. 9.4.1)"
         $ flag "slice" "Print a backward slice for each alarm (Sect. 3.3)"
+        $ flag "profile" "Print per-domain cumulative timings and counters on stderr at exit (coordinator process only)"
         $ flag "verbose" "Print extra statistics"))
 
 let () = exit (Cmd.eval' cmd)

@@ -98,14 +98,20 @@ let lift2_naive (f : Avalue.t -> Avalue.t -> Avalue.t) a b =
   Naive r
 
 let join (a : t) (b : t) : t =
-  match (a, b) with
-  | Shared ma, Shared mb ->
-      Shared
-        (Ptmap.union_idem
-           (fun _ x y -> if x == y then x else Avalue.join x y)
-           ma mb)
-  | Naive ma, Naive mb -> lift2_naive Avalue.join ma mb
-  | _ -> invalid_arg "Env.join: mixed representations"
+  Astree_domains.Profile.count Astree_domains.Profile.env_join;
+  let t0 = Astree_domains.Profile.start () in
+  let r =
+    match (a, b) with
+    | Shared ma, Shared mb ->
+        Shared
+          (Ptmap.union_idem
+             (fun _ x y -> if x == y then x else Avalue.join x y)
+             ma mb)
+    | Naive ma, Naive mb -> lift2_naive Avalue.join ma mb
+    | _ -> invalid_arg "Env.join: mixed representations"
+  in
+  Astree_domains.Profile.stop Astree_domains.Profile.env_join t0;
+  r
 
 let meet (a : t) (b : t) : t =
   match (a, b) with

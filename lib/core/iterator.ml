@@ -228,6 +228,17 @@ let mk_job (a : Transfer.actx) ~(binds : Transfer.binds)
 (* Statements                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Metered widening for the fixpoint loop below: one probe around the
+   whole [Astate.widen] (env + all relational packs) so --profile can
+   attribute iteration cost to extrapolation separately from the
+   per-domain octagon widening probe. *)
+let widen_state ~thresholds (inv : Astate.t) (next : Astate.t) : Astate.t =
+  D.Profile.count D.Profile.widen_total;
+  let t0 = D.Profile.start () in
+  let r = Astate.widen ~thresholds inv next in
+  D.Profile.stop D.Profile.widen_total t0;
+  r
+
 let rec exec_stmt (a : Transfer.actx) ~(part : bool) ~(stack : string list)
     (binds : Transfer.binds) (sts : Astate.t list) (s : stmt) : outcome =
   match live sts with
@@ -491,7 +502,7 @@ and exec_while (a : Transfer.actx) ~(stack : string list)
               (* safety net: force the classical widening straight to
                  infinity so the fixpoint computation always terminates *)
               iterate (i + 1) 0 unstable
-                (Astate.widen ~thresholds:D.Thresholds.none inv next)
+                (widen_state ~thresholds:D.Thresholds.none inv next)
             else if i < cfg.Config.delay_widening then
               iterate (i + 1) fairness unstable (Astate.join inv next)
             else if
@@ -504,7 +515,7 @@ and exec_while (a : Transfer.actx) ~(stack : string list)
                  after the cells do): give them the same grace. *)
               iterate (i + 1) (fairness - 1) unstable (Astate.join inv next)
             else iterate (i + 1) fairness unstable
-                   (Astate.widen ~thresholds inv next)
+                   (widen_state ~thresholds inv next)
       end
     in
     let inv = iterate 0 cfg.Config.widening_fairness max_int st0 in

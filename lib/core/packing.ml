@@ -17,7 +17,20 @@
 module F = Astree_frontend
 open F.Tast
 
-type oct_pack = { op_id : int; op_vars : var array }
+type oct_pack = {
+  op_id : int;
+  op_vars : var array;
+  op_index : (int, int) Hashtbl.t;
+      (** variable id -> position in [op_vars], built once at pack
+          creation so membership checks are O(1) instead of scans *)
+}
+
+let mk_oct_pack ~id (vars : var array) : oct_pack =
+  let index = Hashtbl.create (max 1 (Array.length vars)) in
+  Array.iteri (fun k v -> Hashtbl.replace index v.v_id k) vars;
+  { op_id = id; op_vars = vars; op_index = index }
+
+let op_mem (op : oct_pack) (v : var) : bool = Hashtbl.mem op.op_index v.v_id
 
 type ell_pack = {
   ep_id : int;
@@ -139,7 +152,7 @@ let octagon_packs ~(max_pack : int) (p : program) : oct_pack list =
           !packs
       in
       if not dup then begin
-        packs := { op_id = !next; op_vars = arr } :: !packs;
+        packs := mk_oct_pack ~id:!next arr :: !packs;
         incr next
       end
     end

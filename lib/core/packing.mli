@@ -5,9 +5,15 @@
 type oct_pack = {
   op_id : int;
   op_vars : Astree_frontend.Tast.var array;
+  op_index : (int, int) Hashtbl.t;
+      (** variable id -> position in [op_vars]; built once at pack
+          creation, never mutated *)
 }
 (** An octagon pack (Sect. 7.2.1): the numerical variables appearing in
     linear assignments or tests of one syntactic block. *)
+
+val op_mem : oct_pack -> Astree_frontend.Tast.var -> bool
+(** O(1) pack-membership test via [op_index]. *)
 
 type ell_pack = {
   ep_id : int;

@@ -80,10 +80,7 @@ let equal (a : t) (b : t) : bool =
 (* ------------------------------------------------------------------ *)
 
 let oct_packs_of (packs : Packing.t) (v : F.Tast.var) : Packing.oct_pack list =
-  List.filter
-    (fun (op : Packing.oct_pack) ->
-      Array.exists (F.Tast.Var.equal v) op.op_vars)
-    packs.Packing.octs
+  List.filter (fun op -> Packing.op_mem op v) packs.Packing.octs
 
 let ell_packs_of (packs : Packing.t) (v : F.Tast.var) : Packing.ell_pack list =
   List.filter

@@ -590,6 +590,23 @@ and refine_linear ?var_hook (a : actx) (st : Astate.t) (err : bool ref)
     in
     D.Linearize.refine_eval orc e plain
 
+(* Timed entry point for the recursive evaluator above: later callers
+   (guards, assignments, the iterator) go through this shadowing
+   wrapper while the internal recursion stays on the raw [eval], so the
+   interval-transfer probe meters each top-level evaluation exactly
+   once. *)
+let eval ?var_hook (a : actx) (st : Astate.t) (binds : binds)
+    (err : bool ref) (e : expr) : D.Itv.t =
+  D.Profile.count D.Profile.itv_transfer;
+  let t0 = D.Profile.start () in
+  match eval ?var_hook a st binds err e with
+  | r ->
+      D.Profile.stop D.Profile.itv_transfer t0;
+      r
+  | exception exn ->
+      D.Profile.stop D.Profile.itv_transfer t0;
+      raise exn
+
 (* ------------------------------------------------------------------ *)
 (* Write-backs between domains (reductions)                            *)
 (* ------------------------------------------------------------------ *)
@@ -842,8 +859,15 @@ let guard_octagons (a : actx) (st : Astate.t) (binds : binds) (op : binop)
     let l = resolve_expr binds l and r = resolve_expr binds r in
     match (D.Linearize.linearize orc l, D.Linearize.linearize orc r) with
     | Some fl, Some fr ->
-        let apply_le_zero st form =
-          let vars = D.Linear_form.vars form in
+        (* all forms are applied to ONE copy of each touched pack
+           octagon ([guard_le_zero] restores closure incrementally
+           between them), so an equality — two opposite inequalities —
+           costs one copy per pack instead of a copy-close-copy chain *)
+        let apply_le_zero st forms =
+          let vars =
+            List.concat_map D.Linear_form.vars forms
+            |> List.sort_uniq Var.compare
+          in
           let touched =
             List.concat_map (fun v -> oct_packs_of a v) vars
             |> List.sort_uniq (fun (x : Packing.oct_pack) y ->
@@ -856,7 +880,7 @@ let guard_octagons (a : actx) (st : Astate.t) (binds : binds) (op : binop)
                 | None -> octs
                 | Some o ->
                     let o' = D.Octagon.copy o in
-                    D.Octagon.guard_le_zero o' orc form;
+                    List.iter (fun f -> D.Octagon.guard_le_zero o' orc f) forms;
                     Ptmap.add op_.op_id o' octs)
               st.Astate.rel.Relstate.octs touched
           in
@@ -872,13 +896,13 @@ let guard_octagons (a : actx) (st : Astate.t) (binds : binds) (op : binop)
         let strictify f = if both_int then D.Linear_form.add f one else f in
         let st =
           match op with
-          | Le -> apply_le_zero st (D.Linear_form.sub fl fr)
-          | Lt -> apply_le_zero st (strictify (D.Linear_form.sub fl fr))
-          | Ge -> apply_le_zero st (D.Linear_form.sub fr fl)
-          | Gt -> apply_le_zero st (strictify (D.Linear_form.sub fr fl))
+          | Le -> apply_le_zero st [ D.Linear_form.sub fl fr ]
+          | Lt -> apply_le_zero st [ strictify (D.Linear_form.sub fl fr) ]
+          | Ge -> apply_le_zero st [ D.Linear_form.sub fr fl ]
+          | Gt -> apply_le_zero st [ strictify (D.Linear_form.sub fr fl) ]
           | Eq ->
-              let st = apply_le_zero st (D.Linear_form.sub fl fr) in
-              apply_le_zero st (D.Linear_form.sub fr fl)
+              apply_le_zero st
+                [ D.Linear_form.sub fl fr; D.Linear_form.sub fr fl ]
           | _ -> st
         in
         (* pull refined bounds back into the environment, for every

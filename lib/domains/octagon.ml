@@ -3,8 +3,16 @@
     An octagon over a pack of variables v_0 .. v_{n-1} represents
     conjunctions of constraints (+-x +-y <= c).  The implementation uses
     the difference-bound-matrix encoding: index 2k stands for +v_k and
-    2k+1 for -v_k, and entry m[i][j] bounds V_j - V_i.  Strong closure is
-    cubic in time and the matrix quadratic in space, as the paper states.
+    2k+1 for -v_k, and entry m[i][j] bounds V_j - V_i.  The matrix is
+    stored as one flat row-major [float array] of length (2n)², so a
+    matrix is a single unboxed allocation and a copy is a single blit.
+
+    Strong closure is cubic in time; to keep it off the hot path the
+    octagon tracks its own closure state.  Transfer functions mark the
+    variables whose constraints they touched and call
+    [close_incremental], which repairs closure in O(n²) per dirty
+    variable; lattice operations propagate the state so that re-closing
+    an already-closed octagon costs nothing.
 
     Per the paper's design, the domain works in the real field: bounds
     are binary64 with upward rounding, and floating-point program
@@ -15,46 +23,62 @@
 
 module F = Astree_frontend
 
+type closure_state =
+  | Closed
+  | Dirty of int
+  | Unclosed
+
 type t = {
   pack : F.Tast.var array;    (** the variables of this pack, in order *)
   mutable bot : bool;
-  m : float array array;      (** 2n x 2n bound matrix; +infinity = top *)
+  n2 : int;                   (** 2 * number of pack variables *)
+  m : float array;            (** flat 2n x 2n row-major bound matrix;
+                                  entry (i,j) at [i*n2 + j]; +inf = top *)
+  mutable closure : closure_state;
+  index : (int, int) Hashtbl.t;
+      (** variable id -> pack position; built once per pack at creation
+          and shared by every copy (never mutated afterwards) *)
 }
 
-let dim oct = 2 * Array.length oct.pack
-
 let bar i = i lxor 1
+
+(* Bitmask dirty sets cover packs up to 62 variables; larger packs (far
+   beyond any packing configuration) degrade to the full closure. *)
+let dirty_width = 62
+
+let mark_dirty (o : t) (k : int) : unit =
+  if k >= dirty_width then o.closure <- Unclosed
+  else
+    match o.closure with
+    | Unclosed -> ()
+    | Closed -> o.closure <- Dirty (1 lsl k)
+    | Dirty s -> o.closure <- Dirty (s lor (1 lsl k))
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let top (pack : F.Tast.var array) : t =
-  let n2 = 2 * Array.length pack in
-  let m =
-    Array.init n2 (fun i ->
-        Array.init n2 (fun j -> if i = j then 0.0 else Float.infinity))
-  in
-  { pack; bot = false; m }
+  let n = Array.length pack in
+  let n2 = 2 * n in
+  let m = Array.make (n2 * n2) Float.infinity in
+  for i = 0 to n2 - 1 do
+    m.((i * n2) + i) <- 0.0
+  done;
+  let index = Hashtbl.create (max 1 n) in
+  Array.iteri (fun k v -> Hashtbl.replace index v.F.Tast.v_id k) pack;
+  { pack; bot = false; n2; m; closure = Closed; index }
 
-let bottom (pack : F.Tast.var array) : t =
-  let o = top pack in
-  { o with bot = true }
+let bottom (pack : F.Tast.var array) : t = { (top pack) with bot = true }
 
 let is_bot o = o.bot
 
-let copy o = { o with m = Array.map Array.copy o.m }
+let copy o = { o with m = Array.copy o.m }
 
 let var_index (o : t) (v : F.Tast.var) : int option =
-  let n = Array.length o.pack in
-  let rec go k =
-    if k >= n then None
-    else if F.Tast.Var.equal o.pack.(k) v then Some k
-    else go (k + 1)
-  in
-  go 0
+  Hashtbl.find_opt o.index v.F.Tast.v_id
 
-let mem_var o v = var_index o v <> None
+let mem_var o (v : F.Tast.var) = Hashtbl.mem o.index v.F.Tast.v_id
 
 (* ------------------------------------------------------------------ *)
 (* Strong closure                                                      *)
@@ -62,48 +86,151 @@ let mem_var o v = var_index o v <> None
 
 let add_up = Float_utils.add_up
 
+(* One Floyd-Warshall pivot: m[i][j] <- min(m[i][j], m[i][k] + m[k][j]).
+   All indices are in range by construction, hence the unsafe accesses. *)
+let fw_pivot (m : float array) (n2 : int) (k : int) : unit =
+  let krow = k * n2 in
+  for i = 0 to n2 - 1 do
+    let irow = i * n2 in
+    let mik = Array.unsafe_get m (irow + k) in
+    if mik < Float.infinity then
+      for j = 0 to n2 - 1 do
+        let via = add_up mik (Array.unsafe_get m (krow + j)) in
+        if via < Array.unsafe_get m (irow + j) then
+          Array.unsafe_set m (irow + j) via
+      done
+  done
+
+(* Octagonal strengthening:
+   m[i][j] <- min(m[i][j], (m[i][bar i] + m[bar j][j]) / 2) *)
+let strengthen_pass (m : float array) (n2 : int) : unit =
+  for i = 0 to n2 - 1 do
+    let irow = i * n2 in
+    for j = 0 to n2 - 1 do
+      let s =
+        add_up
+          (Array.unsafe_get m (irow + (i lxor 1)))
+          (Array.unsafe_get m (((j lxor 1) * n2) + j))
+        /. 2.0
+      in
+      let s = Float_utils.round_up s in
+      if s < Array.unsafe_get m (irow + j) then
+        Array.unsafe_set m (irow + j) s
+    done
+  done
+
+(* Emptiness shows up as a negative diagonal entry; a consistent
+   diagonal is reset to exactly 0. *)
+let check_empty (o : t) : unit =
+  let n2 = o.n2 and m = o.m in
+  let empty = ref false in
+  for i = 0 to n2 - 1 do
+    let d = (i * n2) + i in
+    if Array.unsafe_get m d < 0.0 then empty := true
+    else Array.unsafe_set m d 0.0
+  done;
+  if !empty then o.bot <- true
+
 (** Floyd–Warshall shortest paths followed by the octagonal
     strengthening step; detects emptiness on the diagonal.  All bound
     arithmetic rounds upward, which keeps the result a sound
     over-approximation. *)
 let close (o : t) : unit =
   if not o.bot then begin
-    let n2 = dim o in
-    let m = o.m in
+    Profile.count Profile.oct_close_full;
+    let t0 = Profile.start () in
+    let n2 = o.n2 and m = o.m in
     (* Mine's strong closure: one Floyd-Warshall step through both
        polarities of each variable, followed by the octagonal
        strengthening step after EACH variable (interleaving is what
        makes the result strongly closed, hence idempotent) *)
     let n = n2 / 2 in
     for v = 0 to n - 1 do
-      List.iter
-        (fun k ->
-          for i = 0 to n2 - 1 do
-            let mik = m.(i).(k) in
-            if mik < Float.infinity then
+      fw_pivot m n2 (2 * v);
+      fw_pivot m n2 ((2 * v) + 1);
+      strengthen_pass m n2
+    done;
+    check_empty o;
+    Profile.stop Profile.oct_close_full t0
+  end;
+  o.closure <- Closed
+
+(* Incremental strong closure (Mine): precondition is that the
+   submatrix obtained by deleting the rows and columns of the dirty
+   variables is strongly closed — exactly what the transfer functions
+   maintain by marking every variable whose constraints they touch.
+
+   Phase 1 re-tightens the dirty rows and columns: a shortest path from
+   or to a dirty pole needs at most one intermediate hop before entering
+   the clean region, because the clean region is already transitively
+   closed.  Phase 2 is the ordinary Floyd-Warshall step restricted to
+   the dirty poles, letting the remaining paths route through them.
+   Together they compute the closure in O(|dirty| * n²).  A single final
+   strengthening pass then yields strong closure: over the reals,
+   strengthening a closed matrix once is strongly closed (Mine), so the
+   per-variable interleaving of the full algorithm is not needed here. *)
+let close_incremental_set (o : t) (dirty : int) : unit =
+  let n2 = o.n2 and m = o.m in
+  let n = n2 / 2 in
+  for v = 0 to n - 1 do
+    if dirty land (1 lsl v) <> 0 then
+      for p = 2 * v to (2 * v) + 1 do
+        let prow = p * n2 in
+        for k = 0 to n2 - 1 do
+          if k <> p then begin
+            let krow = k * n2 in
+            (* row: m[p][j] <- min(m[p][j], m[p][k] + m[k][j]) *)
+            let mpk = Array.unsafe_get m (prow + k) in
+            if mpk < Float.infinity then
               for j = 0 to n2 - 1 do
-                let via = add_up mik m.(k).(j) in
-                if via < m.(i).(j) then m.(i).(j) <- via
+                let via = add_up mpk (Array.unsafe_get m (krow + j)) in
+                if via < Array.unsafe_get m (prow + j) then
+                  Array.unsafe_set m (prow + j) via
+              done;
+            (* column: m[i][p] <- min(m[i][p], m[i][k] + m[k][p]) *)
+            let mkp = Array.unsafe_get m (krow + p) in
+            if mkp < Float.infinity then
+              for i = 0 to n2 - 1 do
+                let via = add_up (Array.unsafe_get m ((i * n2) + k)) mkp in
+                if via < Array.unsafe_get m ((i * n2) + p) then
+                  Array.unsafe_set m ((i * n2) + p) via
               done
-          done)
-        [ 2 * v; (2 * v) + 1 ];
-      (* strengthening:
-         m[i][j] <- min(m[i][j], (m[i][bar i] + m[bar j][j]) / 2) *)
-      for i = 0 to n2 - 1 do
-        for j = 0 to n2 - 1 do
-          let s = add_up m.(i).(bar i) m.(bar j).(j) /. 2.0 in
-          let s = Float_utils.round_up s in
-          if s < m.(i).(j) then m.(i).(j) <- s
+          end
         done
       done
-    done;
-    (* emptiness check *)
-    let empty = ref false in
-    for i = 0 to n2 - 1 do
-      if m.(i).(i) < 0.0 then empty := true else m.(i).(i) <- 0.0
-    done;
-    if !empty then o.bot <- true
-  end
+  done;
+  for v = 0 to n - 1 do
+    if dirty land (1 lsl v) <> 0 then begin
+      fw_pivot m n2 (2 * v);
+      fw_pivot m n2 ((2 * v) + 1)
+    end
+  done;
+  strengthen_pass m n2;
+  check_empty o
+
+let popcount =
+  let rec go acc s = if s = 0 then acc else go (acc + (s land 1)) (s lsr 1) in
+  fun s -> go 0 s
+
+let force_full_close = ref false
+
+let close_incremental (o : t) : unit =
+  if !force_full_close then close o
+  else if o.bot then o.closure <- Closed
+  else
+    match o.closure with
+    | Closed -> Profile.count Profile.oct_close_skip
+    | Unclosed -> close o
+    | Dirty set ->
+        let n = Array.length o.pack in
+        if 2 * popcount set >= n then close o
+        else begin
+          Profile.count Profile.oct_close_incr;
+          let t0 = Profile.start () in
+          close_incremental_set o set;
+          Profile.stop Profile.oct_close_incr t0;
+          o.closure <- Closed
+        end
 
 (* ------------------------------------------------------------------ *)
 (* Lattice operations (on closed arguments)                            *)
@@ -113,27 +240,38 @@ let join (a : t) (b : t) : t =
   if a.bot then copy b
   else if b.bot then copy a
   else begin
-    let r = copy a in
-    let n2 = dim a in
-    for i = 0 to n2 - 1 do
-      for j = 0 to n2 - 1 do
-        r.m.(i).(j) <- Float.max a.m.(i).(j) b.m.(i).(j)
-      done
+    Profile.count Profile.oct_join;
+    let t0 = Profile.start () in
+    let nn = a.n2 * a.n2 in
+    let am = a.m and bm = b.m in
+    let rm = Array.make nn 0.0 in
+    for i = 0 to nn - 1 do
+      Array.unsafe_set rm i
+        (Float.max (Array.unsafe_get am i) (Array.unsafe_get bm i))
     done;
-    r
+    (* the pointwise max of two (strongly) closed matrices is again
+       (strongly) closed — the closure inequalities are preserved by max
+       because bound addition is monotone — so the join of two closed
+       octagons needs no re-closure at all *)
+    let closure =
+      match (a.closure, b.closure) with
+      | Closed, Closed -> Closed
+      | _ -> Unclosed
+    in
+    Profile.stop Profile.oct_join t0;
+    { a with m = rm; bot = false; closure }
   end
 
 let meet (a : t) (b : t) : t =
   if a.bot then copy a
   else if b.bot then copy b
   else begin
-    let r = copy a in
-    let n2 = dim a in
-    for i = 0 to n2 - 1 do
-      for j = 0 to n2 - 1 do
-        r.m.(i).(j) <- Float.min a.m.(i).(j) b.m.(i).(j)
-      done
+    let nn = a.n2 * a.n2 in
+    let rm = Array.make nn 0.0 in
+    for i = 0 to nn - 1 do
+      rm.(i) <- Float.min a.m.(i) b.m.(i)
     done;
+    let r = { a with m = rm; bot = false; closure = Unclosed } in
     close r;
     r
   end
@@ -147,49 +285,47 @@ let meet (a : t) (b : t) : t =
     The [thresholds] parameter is kept for interface uniformity with the
     other domains.  The left argument must not be closed after widening
     is engaged, per the classical octagon widening soundness condition;
-    we therefore never close widened results until the next meet. *)
+    the result is therefore marked [Unclosed] and stays that way until a
+    transfer function next needs a closure. *)
 let widen ~(thresholds : Thresholds.t) (a : t) (b : t) : t =
   ignore thresholds;
   if a.bot then copy b
   else if b.bot then copy a
   else begin
-    let r = copy a in
-    let n2 = dim a in
-    for i = 0 to n2 - 1 do
-      for j = 0 to n2 - 1 do
-        if b.m.(i).(j) > a.m.(i).(j) then r.m.(i).(j) <- Float.infinity
-      done
+    Profile.count Profile.oct_widen;
+    let t0 = Profile.start () in
+    let nn = a.n2 * a.n2 in
+    let rm = Array.copy a.m in
+    for i = 0 to nn - 1 do
+      if b.m.(i) > a.m.(i) then rm.(i) <- Float.infinity
     done;
-    r
+    Profile.stop Profile.oct_widen t0;
+    { a with m = rm; bot = false; closure = Unclosed }
   end
 
 let narrow (a : t) (b : t) : t =
   if a.bot || b.bot then bottom a.pack
   else begin
-    let r = copy a in
-    let n2 = dim a in
-    for i = 0 to n2 - 1 do
-      for j = 0 to n2 - 1 do
-        if a.m.(i).(j) = Float.infinity then r.m.(i).(j) <- b.m.(i).(j)
-      done
+    let nn = a.n2 * a.n2 in
+    let rm = Array.copy a.m in
+    for i = 0 to nn - 1 do
+      if a.m.(i) = Float.infinity then rm.(i) <- b.m.(i)
     done;
-    r
+    { a with m = rm; bot = false; closure = Unclosed }
   end
 
 let subset (a : t) (b : t) : bool =
-  a.bot || (not b.bot)
-           && (let n2 = dim a in
-               let ok = ref true in
-               for i = 0 to n2 - 1 do
-                 for j = 0 to n2 - 1 do
-                   if a.m.(i).(j) > b.m.(i).(j) then ok := false
-                 done
-               done;
-               !ok)
+  a.bot
+  || (not b.bot)
+     && (let nn = a.n2 * a.n2 in
+         let ok = ref true in
+         for i = 0 to nn - 1 do
+           if Array.unsafe_get a.m i > Array.unsafe_get b.m i then ok := false
+         done;
+         !ok)
 
 let equal (a : t) (b : t) : bool =
-  (a.bot && b.bot)
-  || ((not a.bot) && (not b.bot) && a.m = b.m)
+  (a.bot && b.bot) || ((not a.bot) && (not b.bot) && a.m = b.m)
 
 (* ------------------------------------------------------------------ *)
 (* Interval extraction and injection                                   *)
@@ -202,10 +338,10 @@ let get_bounds (o : t) (v : F.Tast.var) : (float * float) option =
     match var_index o v with
     | None -> None
     | Some k ->
-        let hi = Float_utils.round_up (o.m.(bar (2 * k)).(2 * k) /. 2.0) in
-        let lo =
-          Float_utils.round_down (-.(o.m.(2 * k).(bar (2 * k)) /. 2.0))
-        in
+        let n2 = o.n2 in
+        let i = 2 * k in
+        let hi = Float_utils.round_up (o.m.((bar i * n2) + i) /. 2.0) in
+        let lo = Float_utils.round_down (-.(o.m.((i * n2) + bar i) /. 2.0)) in
         Some (lo, hi)
 
 (** Constrain v to [lo, hi] (meet). *)
@@ -214,13 +350,23 @@ let set_bounds (o : t) (v : F.Tast.var) ((lo, hi) : float * float) : unit =
     match var_index o v with
     | None -> ()
     | Some k ->
+        let n2 = o.n2 in
         let i = 2 * k in
-        if hi < Float.infinity then
-          o.m.(bar i).(i) <- Float.min o.m.(bar i).(i)
-                               (Float_utils.mul_up 2.0 hi);
-        if lo > Float.neg_infinity then
-          o.m.(i).(bar i) <- Float.min o.m.(i).(bar i)
-                               (Float_utils.mul_up (-2.0) lo)
+        let up = (bar i * n2) + i and dn = (i * n2) + bar i in
+        if hi < Float.infinity then begin
+          let c = Float_utils.mul_up 2.0 hi in
+          if c < o.m.(up) then begin
+            o.m.(up) <- c;
+            mark_dirty o k
+          end
+        end;
+        if lo > Float.neg_infinity then begin
+          let c = Float_utils.mul_up (-2.0) lo in
+          if c < o.m.(dn) then begin
+            o.m.(dn) <- c;
+            mark_dirty o k
+          end
+        end
 
 (** Bounds on the difference x - y, when both are in the pack. *)
 let get_diff_bounds (o : t) (x : F.Tast.var) (y : F.Tast.var) :
@@ -230,38 +376,54 @@ let get_diff_bounds (o : t) (x : F.Tast.var) (y : F.Tast.var) :
     match (var_index o x, var_index o y) with
     | Some kx, Some ky when kx <> ky ->
         (* x - y <= m[2ky][2kx]; y - x <= m[2kx][2ky] *)
-        let hi = o.m.(2 * ky).(2 * kx) in
-        let lo = -.o.m.(2 * kx).(2 * ky) in
+        let n2 = o.n2 in
+        let hi = o.m.((2 * ky * n2) + (2 * kx)) in
+        let lo = -.o.m.((2 * kx * n2) + (2 * ky)) in
         if lo > Float.neg_infinity || hi < Float.infinity then Some (lo, hi)
         else None
     | _ -> None
 
-(** Remove every constraint involving v (projection). *)
+(** Remove every constraint involving v (projection).  A projection of a
+    strongly closed matrix is still strongly closed, so forgetting never
+    dirties the octagon — it can only remove v from the dirty set. *)
 let forget (o : t) (v : F.Tast.var) : unit =
   if not o.bot then
     match var_index o v with
     | None -> ()
     | Some k ->
-        let n2 = dim o in
+        let n2 = o.n2 in
         let i0 = 2 * k and i1 = (2 * k) + 1 in
         for j = 0 to n2 - 1 do
           if j <> i0 then begin
-            o.m.(i0).(j) <- Float.infinity;
-            o.m.(j).(i0) <- Float.infinity
+            o.m.((i0 * n2) + j) <- Float.infinity;
+            o.m.((j * n2) + i0) <- Float.infinity
           end;
           if j <> i1 then begin
-            o.m.(i1).(j) <- Float.infinity;
-            o.m.(j).(i1) <- Float.infinity
+            o.m.((i1 * n2) + j) <- Float.infinity;
+            o.m.((j * n2) + i1) <- Float.infinity
           end
         done;
-        o.m.(i0).(i0) <- 0.0;
-        o.m.(i1).(i1) <- 0.0
+        o.m.((i0 * n2) + i0) <- 0.0;
+        o.m.((i1 * n2) + i1) <- 0.0;
+        if k < dirty_width then begin
+          match o.closure with
+          | Dirty s ->
+              let s' = s land lnot (1 lsl k) in
+              o.closure <- (if s' = 0 then Closed else Dirty s')
+          | Closed | Unclosed -> ()
+        end
 
-(* Add constraint V_j - V_i <= c, maintaining coherence. *)
+(* Add constraint V_j - V_i <= c, maintaining coherence.  Every touched
+   entry lies in the rows/columns of variable j/2, so marking that one
+   variable dirty is enough for the incremental closure. *)
 let add_constraint (o : t) i j c =
-  if c < o.m.(i).(j) then begin
-    o.m.(i).(j) <- c;
-    o.m.(bar j).(bar i) <- Float.min o.m.(bar j).(bar i) c
+  let n2 = o.n2 in
+  let ij = (i * n2) + j in
+  if c < o.m.(ij) then begin
+    o.m.(ij) <- c;
+    let ji = (bar j * n2) + bar i in
+    if c < o.m.(ji) then o.m.(ji) <- c;
+    mark_dirty o (j lsr 1)
   end
 
 (** Constrain x - y <= c  (x, y in the pack). *)
@@ -320,25 +482,26 @@ let eval_form (o : t) (oracle : oracle) (form : Linear_form.t) : float * float =
    shifts by the increment, preserving all relational information
    (what keeps loop counters related to their accumulators). *)
 let shift_var (o : t) (k : int) (c : float) (d : float) : unit =
-  let n2 = dim o in
+  let n2 = o.n2 in
   let i0 = 2 * k and i1 = (2 * k) + 1 in
   let su = Float_utils.sub_up and au = Float_utils.add_up in
   for j = 0 to n2 - 1 do
     if j <> i0 && j <> i1 then begin
       (* V_j - x <= m[i0][j]  becomes  <= m - c *)
-      o.m.(i0).(j) <- su o.m.(i0).(j) c;
+      o.m.((i0 * n2) + j) <- su o.m.((i0 * n2) + j) c;
       (* x - V_j <= m[j][i0]  becomes  <= m + d *)
-      o.m.(j).(i0) <- au o.m.(j).(i0) d;
+      o.m.((j * n2) + i0) <- au o.m.((j * n2) + i0) d;
       (* V_j + x <= m[i1][j]  becomes  <= m + d *)
-      o.m.(i1).(j) <- au o.m.(i1).(j) d;
+      o.m.((i1 * n2) + j) <- au o.m.((i1 * n2) + j) d;
       (* -x - V_j <= m[j][i1]  becomes  <= m - c *)
-      o.m.(j).(i1) <- su o.m.(j).(i1) c
+      o.m.((j * n2) + i1) <- su o.m.((j * n2) + i1) c
     end
   done;
   (* unary bounds: -2x <= m[i0][i1] becomes <= m - 2c; 2x <= m[i1][i0]
      becomes <= m + 2d *)
-  o.m.(i0).(i1) <- su o.m.(i0).(i1) (Float_utils.mul_down 2.0 c);
-  o.m.(i1).(i0) <- au o.m.(i1).(i0) (Float_utils.mul_up 2.0 d)
+  o.m.((i0 * n2) + i1) <- su o.m.((i0 * n2) + i1) (Float_utils.mul_down 2.0 c);
+  o.m.((i1 * n2) + i0) <- au o.m.((i1 * n2) + i0) (Float_utils.mul_up 2.0 d);
+  mark_dirty o k
 
 let assign (o : t) (oracle : oracle) (x : F.Tast.var) (form : Linear_form.t) :
     unit =
@@ -358,7 +521,7 @@ let assign (o : t) (oracle : oracle) (x : F.Tast.var) (form : Linear_form.t) :
           | None -> (0.0, 0.0)
         in
         shift_var o kx c d;
-        close o
+        close_incremental o
     | Some _ ->
         (* value hull computed before forgetting x (x may occur in form) *)
         let vlo, vhi = eval_form o oracle form in
@@ -413,7 +576,7 @@ let assign (o : t) (oracle : oracle) (x : F.Tast.var) (form : Linear_form.t) :
                 if d < Float.infinity then add_sum_le o x y d;
                 if c > Float.neg_infinity then add_neg_sum_le o x y (-.c))
           rests;
-        close o
+        close_incremental o
   end
 
 (** Abstract guard [form <= 0].  Octagonal constraints are extracted when
@@ -488,7 +651,7 @@ let guard_le_zero (o : t) (oracle : oracle) (form : Linear_form.t) : unit =
             end
         | _ -> ())
     | _ -> ());
-    close o
+    close_incremental o
   end
 
 (* ------------------------------------------------------------------ *)
@@ -502,11 +665,12 @@ let guard_le_zero (o : t) (oracle : oracle) (form : Linear_form.t) : unit =
 let count_constraints (o : t) : int * int =
   if o.bot then (0, 0)
   else begin
-    let n2 = dim o in
+    let n2 = o.n2 in
     let sums = ref 0 and diffs = ref 0 in
     for i = 0 to n2 - 1 do
       for j = 0 to n2 - 1 do
-        if i <> j && i / 2 <> j / 2 && o.m.(i).(j) < Float.infinity then
+        if i <> j && i / 2 <> j / 2 && o.m.((i * n2) + j) < Float.infinity
+        then
           (* V_j - V_i <= c: a difference if both have the same parity
              polarity, a sum otherwise *)
           if i land 1 = j land 1 then incr sums else incr diffs
@@ -521,11 +685,12 @@ let count_constraints (o : t) : int * int =
 let has_relational_info (o : t) : bool =
   (not o.bot)
   &&
-  let n2 = dim o in
+  let n2 = o.n2 in
   let found = ref false in
   for i = 0 to n2 - 1 do
     for j = 0 to n2 - 1 do
-      if i / 2 <> j / 2 && o.m.(i).(j) < Float.infinity then found := true
+      if i / 2 <> j / 2 && o.m.((i * n2) + j) < Float.infinity then
+        found := true
     done
   done;
   !found
@@ -534,6 +699,7 @@ let pp ppf (o : t) =
   if o.bot then Fmt.string ppf "_|_"
   else begin
     let n = Array.length o.pack in
+    let n2 = o.n2 in
     let first = ref true in
     for k = 0 to n - 1 do
       match get_bounds o o.pack.(k) with
@@ -545,14 +711,14 @@ let pp ppf (o : t) =
     done;
     for i = 0 to (2 * n) - 1 do
       for j = 0 to (2 * n) - 1 do
-        if i / 2 < j / 2 && o.m.(i).(j) < Float.infinity then begin
+        if i / 2 < j / 2 && o.m.((i * n2) + j) < Float.infinity then begin
           if not !first then Fmt.string ppf ", ";
           first := false;
           let vi = o.pack.(i / 2).F.Tast.v_name
           and vj = o.pack.(j / 2).F.Tast.v_name in
           let si = if i land 1 = 0 then "-" else "+" in
           let sj = if j land 1 = 0 then "+" else "-" in
-          Fmt.pf ppf "%s%s %s%s <= %g" sj vj si vi o.m.(i).(j)
+          Fmt.pf ppf "%s%s %s%s <= %g" sj vj si vi o.m.((i * n2) + j)
         end
       done
     done;

@@ -2,18 +2,36 @@
 
     An octagon over a pack of variables represents conjunctions of
     constraints (+-x +-y <= c) in a difference-bound matrix: index [2k]
-    stands for [+v_k], [2k+1] for [-v_k], and entry [m.(i).(j)] bounds
-    [V_j - V_i].  Strong closure is cubic in the pack size; packs are
-    kept small by the packing strategy of Sect. 7.2.1.
+    stands for [+v_k], [2k+1] for [-v_k], and the entry at [i*n2 + j] of
+    the flat row-major matrix bounds [V_j - V_i].  Strong closure is
+    cubic in the pack size; packs are kept small by the packing strategy
+    of Sect. 7.2.1, and the closure-state tracking below keeps the cubic
+    pass off the per-statement hot path.
 
     The domain works in the real field (bounds are binary64 with upward
     rounding); floating-point program expressions reach it only through
     the sound linear forms of Sect. 6.3. *)
 
+(** How much closure work the matrix currently needs.  [Closed]: the
+    matrix is strongly closed.  [Dirty s]: strongly closed except on the
+    rows/columns of the pack variables in the bitmask [s] (bit k =
+    variable k); [close_incremental] repairs this in O(|s|·n²).
+    [Unclosed]: nothing is known (widening/narrowing results), a full
+    closure is required. *)
+type closure_state =
+  | Closed
+  | Dirty of int
+  | Unclosed
+
 type t = {
   pack : Astree_frontend.Tast.var array;  (** this pack's variables *)
   mutable bot : bool;
-  m : float array array;  (** 2n x 2n bound matrix; +infinity = top *)
+  n2 : int;  (** 2 * pack size *)
+  m : float array;
+      (** flat 2n x 2n row-major bound matrix; +infinity = top *)
+  mutable closure : closure_state;
+  index : (int, int) Hashtbl.t;
+      (** variable id -> pack position; shared by copies, never mutated *)
 }
 
 (** {1 Construction}
@@ -28,9 +46,23 @@ val mem_var : t -> Astree_frontend.Tast.var -> bool
 
 (** {1 Closure} *)
 
-(** Floyd–Warshall shortest paths plus the octagonal strengthening step;
-    detects emptiness.  All bound arithmetic rounds upward. *)
+(** Full strong closure: Floyd–Warshall shortest paths plus the
+    octagonal strengthening step; detects emptiness.  All bound
+    arithmetic rounds upward. *)
 val close : t -> unit
+
+(** Bring the octagon to [Closed] doing as little work as the tracked
+    closure state allows: nothing when already closed, Miné's
+    incremental strong closure (O(n²) per dirty variable) when only a
+    few variables were touched, the full cubic pass otherwise.  Agrees
+    with {!close} exactly in real arithmetic (both compute the unique
+    strong closure; see DESIGN.md §9 for the argument and the property
+    test). *)
+val close_incremental : t -> unit
+
+(** Benchmark hook: when set, [close_incremental] always performs the
+    full cubic closure, reproducing the pre-optimization cost model. *)
+val force_full_close : bool ref
 
 (** {1 Lattice operations} (on closed arguments) *)
 
@@ -39,7 +71,9 @@ val meet : t -> t -> t
 
 (** Standard octagon widening: an unstable bound jumps to +infinity
     ([thresholds] is accepted for interface uniformity but unused —
-    see the implementation note about rounding-noise creep). *)
+    see the implementation note about rounding-noise creep).  The result
+    is [Unclosed]: closing a widened iterate could undo the
+    extrapolation and defeat termination. *)
 val widen : thresholds:Thresholds.t -> t -> t -> t
 
 val narrow : t -> t -> t

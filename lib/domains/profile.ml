@@ -1,0 +1,62 @@
+(* Lightweight analysis-wide profiling: per-domain cumulative timers and
+   operation counters, reported by the --profile CLI flag.
+
+   Counters are always on (a single int increment, cheap enough for the
+   hottest paths, and the octagon regression tests rely on them); wall-
+   clock timers only run when [enabled] is set, so the default build pays
+   one ref read per probe site.
+
+   The module lives in the domains library because both the domains
+   (octagon close/join/widen) and the core (environment join, interval
+   transfer) need probes, and core depends on domains.
+
+   With -j > 1 the report covers the coordinator process only: worker
+   processes inherit [enabled] over fork but their accumulators die with
+   them. *)
+
+type probe = int
+
+let oct_close_full = 0
+let oct_close_incr = 1
+let oct_close_skip = 2
+let oct_join = 3
+let oct_widen = 4
+let env_join = 5
+let itv_transfer = 6
+let widen_total = 7
+let n_probes = 8
+
+let names =
+  [|
+    "octagon close (full)";
+    "octagon close (incremental)";
+    "octagon close (skipped, already closed)";
+    "octagon join";
+    "octagon widen";
+    "env join";
+    "interval transfer (eval)";
+    "widening (all domains)";
+  |]
+
+let enabled = ref false
+let counts = Array.make n_probes 0
+let timers = Array.make n_probes 0.0
+
+let count (p : probe) = counts.(p) <- counts.(p) + 1
+let counter (p : probe) = counts.(p)
+
+let start () = if !enabled then Unix.gettimeofday () else 0.0
+
+let stop (p : probe) (t0 : float) =
+  if !enabled then timers.(p) <- timers.(p) +. (Unix.gettimeofday () -. t0)
+
+let reset () =
+  Array.fill counts 0 n_probes 0;
+  Array.fill timers 0 n_probes 0.0
+
+let report ppf =
+  Format.fprintf ppf "--- profile (cumulative, this process) ---@.";
+  for p = 0 to n_probes - 1 do
+    Format.fprintf ppf "%-42s %10d calls %12.6f s@." names.(p) counts.(p)
+      timers.(p)
+  done

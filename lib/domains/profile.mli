@@ -1,0 +1,39 @@
+(** Per-domain cumulative timers and operation counters for the
+    [--profile] CLI flag.
+
+    Counters are always on; timers only accumulate when [enabled] is
+    set.  With [-j > 1] the report covers the coordinator process only. *)
+
+type probe
+
+val oct_close_full : probe
+(** Full (cubic) strong closures. *)
+
+val oct_close_incr : probe
+(** Incremental strong closures. *)
+
+val oct_close_skip : probe
+(** [close_incremental] calls that found the octagon already closed. *)
+
+val oct_join : probe
+val oct_widen : probe
+val env_join : probe
+val itv_transfer : probe
+val widen_total : probe
+
+val enabled : bool ref
+
+val count : probe -> unit
+(** Bump a probe's call counter (always recorded). *)
+
+val counter : probe -> int
+(** Current counter value (used by the regression tests). *)
+
+val start : unit -> float
+(** Timestamp when [enabled], else 0; pass the result to {!stop}. *)
+
+val stop : probe -> float -> unit
+(** Accumulate elapsed wall-clock time against a probe when [enabled]. *)
+
+val reset : unit -> unit
+val report : Format.formatter -> unit

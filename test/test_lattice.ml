@@ -110,7 +110,7 @@ let oct_props =
         let ok = ref true in
         for i = 0 to n2 - 1 do
           for j = 0 to n2 - 1 do
-            let a = o.O.m.(i).(j) and b = once.O.m.(i).(j) in
+            let a = o.O.m.((i * n2) + j) and b = once.O.m.((i * n2) + j) in
             if
               not
                 (a = b

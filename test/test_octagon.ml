@@ -215,6 +215,138 @@ let prop_closure_sound =
               lx <= px && px <= hx && ly <= py && py <= hy
           | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental closure (PR 3)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random DBMs + random touched-variable updates: [close_incremental]
+   must agree with the full [close] — same matrix, same bottom
+   detection.  All generated bounds are small integers, so every bound
+   computed by either algorithm is a dyadic rational far inside the
+   binary64 range and the directed-rounding arithmetic is EXACT: both
+   algorithms then compute the unique real strong closure, and the
+   comparison below is bit-for-bit. *)
+let prop_incremental_equiv =
+  let gen =
+    QCheck.Gen.(
+      int_range 3 5 >>= fun n ->
+      let var = int_bound (n - 1) in
+      let base_c =
+        quad (int_bound 3) var var (pair (int_range (-20) 20) (int_range (-20) 20))
+      in
+      let upd =
+        quad (int_bound 4) var var (pair (int_range (-8) 8) (int_range (-8) 8))
+      in
+      list_size (int_range 0 12) base_c >>= fun base ->
+      list_size (int_range 1 2) upd >>= fun upds -> return (n, base, upds))
+  in
+  QCheck.Test.make ~count:500
+    ~name:"close_incremental = full close (exact dyadic inputs)"
+    (QCheck.make gen)
+    (fun (n, base, upds) ->
+      let pack = Array.init n (fun i -> mkvar (Printf.sprintf "v%d" i)) in
+      let o = O.top pack in
+      List.iter
+        (fun (k, i, j, (c, d)) ->
+          let x = pack.(i) and y = pack.(j) in
+          let c = float_of_int c and d = float_of_int d in
+          match k with
+          | 0 -> O.set_bounds o x (Float.min c d, Float.max c d)
+          | 1 -> O.add_diff_le o x y c
+          | 2 -> O.add_sum_le o x y c
+          | _ -> O.add_neg_sum_le o x y c)
+        base;
+      O.close o;
+      let a = O.copy o and b = O.copy o in
+      let apply t (k, i, j, (c, d)) =
+        let x = pack.(i) and y = pack.(j) in
+        let cf = float_of_int c and df = float_of_int d in
+        match k with
+        | 0 -> O.set_bounds t x (Float.min cf df, Float.max cf df)
+        | 1 -> O.add_diff_le t x y cf
+        | 2 -> O.add_sum_le t x y cf
+        | 3 -> O.shift_var t i (Float.min cf df) (Float.max cf df)
+        | _ -> O.forget t x
+      in
+      List.iter (apply a) upds;
+      List.iter (apply b) upds;
+      O.close_incremental a;
+      (* the full cubic pass on an identical copy *)
+      O.close b;
+      O.is_bot a = O.is_bot b
+      && (O.is_bot a || (a.O.m = b.O.m && a.O.closure = O.Closed)))
+
+(* Deterministic instance pinning the genuinely incremental path (one
+   dirty variable out of four, below the full-closure fallback
+   threshold). *)
+let test_incremental_path () =
+  let pack = Array.init 4 (fun i -> mkvar (Printf.sprintf "w%d" i)) in
+  let o = O.top pack in
+  O.set_bounds o pack.(0) (0.0, 10.0);
+  O.add_diff_le o pack.(0) pack.(1) 3.0;
+  O.add_sum_le o pack.(2) pack.(3) 7.0;
+  O.close o;
+  let a = O.copy o and b = O.copy o in
+  O.add_diff_le a pack.(2) pack.(0) 1.0;
+  O.add_diff_le b pack.(2) pack.(0) 1.0;
+  let incr0 = D.Profile.counter D.Profile.oct_close_incr in
+  O.close_incremental a;
+  Alcotest.(check int)
+    "incremental algorithm used" (incr0 + 1)
+    (D.Profile.counter D.Profile.oct_close_incr);
+  O.close b;
+  Alcotest.(check bool) "same bottom" (O.is_bot a) (O.is_bot b);
+  Alcotest.(check bool) "same matrix" true (a.O.m = b.O.m)
+
+(* Counter-based regression: the join of two closed octagons is closed
+   by construction and must perform zero closure work — neither at join
+   time nor when a closure is next requested on the result. *)
+let test_join_zero_closure_work () =
+  let x = mkvar "jx" and y = mkvar "jy" and z = mkvar "jz" in
+  let pack = [| x; y; z |] in
+  let a = O.top pack and b = O.top pack in
+  O.set_bounds a x (0.0, 10.0);
+  O.add_diff_le a x y 3.0;
+  O.close a;
+  O.set_bounds b x (2.0, 8.0);
+  O.add_sum_le b y z 5.0;
+  O.close b;
+  Alcotest.(check bool) "a closed" true (a.O.closure = O.Closed);
+  Alcotest.(check bool) "b closed" true (b.O.closure = O.Closed);
+  let full0 = D.Profile.counter D.Profile.oct_close_full in
+  let incr0 = D.Profile.counter D.Profile.oct_close_incr in
+  let j = O.join a b in
+  Alcotest.(check int) "join: no full closure" full0
+    (D.Profile.counter D.Profile.oct_close_full);
+  Alcotest.(check int) "join: no incremental closure" incr0
+    (D.Profile.counter D.Profile.oct_close_incr);
+  Alcotest.(check bool) "join of closed is closed" true
+    (j.O.closure = O.Closed);
+  O.close_incremental j;
+  Alcotest.(check int) "re-closing the join is free" full0
+    (D.Profile.counter D.Profile.oct_close_full);
+  Alcotest.(check int) "re-closing the join is free (incr)" incr0
+    (D.Profile.counter D.Profile.oct_close_incr)
+
+(* Widening results must stay unclosed (the classical termination
+   condition), and the next closure request falls back to the full
+   pass. *)
+let test_widen_unclosed () =
+  let x = mkvar "ux" and y = mkvar "uy" in
+  let a = O.top [| x; y |] and b = O.top [| x; y |] in
+  O.set_bounds a x (0.0, 10.0);
+  O.close a;
+  O.set_bounds b x (0.0, 12.0);
+  O.close b;
+  let w = O.widen ~thresholds:D.Thresholds.default a b in
+  Alcotest.(check bool) "widen result unclosed" true
+    (w.O.closure = O.Unclosed);
+  let full0 = D.Profile.counter D.Profile.oct_close_full in
+  O.close_incremental w;
+  Alcotest.(check int) "unclosed falls back to full closure" (full0 + 1)
+    (D.Profile.counter D.Profile.oct_close_full);
+  Alcotest.(check bool) "then closed" true (w.O.closure = O.Closed)
+
 let suite =
   [
     Alcotest.test_case "top/bottom" `Quick test_top_bot;
@@ -231,5 +363,12 @@ let suite =
     Alcotest.test_case "widening stable" `Quick test_widen_stable_side;
     Alcotest.test_case "two-variable guard" `Quick test_guard_two_vars;
     Alcotest.test_case "constraint census" `Quick test_count_constraints;
+    Alcotest.test_case "incremental closure path" `Quick test_incremental_path;
+    Alcotest.test_case "join does zero closure work" `Quick
+      test_join_zero_closure_work;
+    Alcotest.test_case "widening stays unclosed" `Quick test_widen_unclosed;
   ]
-  @ [ QCheck_alcotest.to_alcotest prop_closure_sound ]
+  @ [
+      QCheck_alcotest.to_alcotest prop_closure_sound;
+      QCheck_alcotest.to_alcotest prop_incremental_equiv;
+    ]
