@@ -3,7 +3,7 @@
    Regenerates every table and figure of the paper's evaluation
    (Sect. 8, plus the quantified claims of Sect. 6.1.2, 7.1, 7.2 and
    9.4.1) on the synthetic program family.  See DESIGN.md for the
-   experiment index (E1-E12) and EXPERIMENTS.md for recorded results.
+   experiment index (E1-E13) and EXPERIMENTS.md for recorded results.
 
      dune exec bench/main.exe            # all experiments, default sizes
      dune exec bench/main.exe -- e1 e3   # selected experiments
@@ -22,6 +22,7 @@ module F = Astree_frontend
 module G = Astree_gen
 module I = Astree_incremental
 module P = Astree_parallel
+module R = Astree_robust
 
 let section title =
   Fmt.pr "@.==============================================================@.";
@@ -636,21 +637,8 @@ let e11 () =
 (* E12 - octagon hot path: incremental strong closure                  *)
 (* ------------------------------------------------------------------ *)
 
-let e12 ~quick () =
-  section
-    "E12: octagon hot path - flat DBMs, closure-state tracking and\n\
-     incremental strong closure\n\
-     claims checked: >= 2x total-analysis speedup on an octagon-heavy\n\
-     workload vs the pre-overhaul cost model (every closure request\n\
-     re-runs the full cubic pass), with identical alarms; -j 4 and\n\
-     cache cold/warm fingerprints identical to the -j 1 baseline";
-  (* deep relational workload: per stage function, a cascade of
-     rate-limited first-order lags.  Every tap is linearly coupled to
-     its predecessor, so packing puts the whole cascade in one wide
-     octagon pack; strong closure is Theta(n^3) per call, which is the
-     regime the overhaul targets. *)
-  let stages, width = if quick then (6, 8) else (16, 10) in
-  let src =
+(* octagon-heavy cascade workload shared by E12 and E13 *)
+let cascade_source ~stages ~width =
     let buf = Buffer.create 8192 in
     for s = 0 to stages - 1 do
       Buffer.add_string buf (Fmt.str "volatile float u%d;\n" s);
@@ -696,7 +684,22 @@ let e12 ~quick () =
     Buffer.add_string buf
       "    __astree_wait_for_clock();\n  }\n  return 0;\n}\n";
     Buffer.contents buf
-  in
+
+let e12 ~quick () =
+  section
+    "E12: octagon hot path - flat DBMs, closure-state tracking and\n\
+     incremental strong closure\n\
+     claims checked: >= 2x total-analysis speedup on an octagon-heavy\n\
+     workload vs the pre-overhaul cost model (every closure request\n\
+     re-runs the full cubic pass), with identical alarms; -j 4 and\n\
+     cache cold/warm fingerprints identical to the -j 1 baseline";
+  (* deep relational workload: per stage function, a cascade of
+     rate-limited first-order lags.  Every tap is linearly coupled to
+     its predecessor, so packing puts the whole cascade in one wide
+     octagon pack; strong closure is Theta(n^3) per call, which is the
+     regime the overhaul targets. *)
+  let stages, width = if quick then (6, 8) else (16, 10) in
+  let src = cascade_source ~stages ~width in
   let n_lines =
     List.length (String.split_on_char '\n' src)
   in
@@ -787,6 +790,82 @@ let e12 ~quick () =
        (C.Analysis.n_alarms r_incr)
        t_full t_incr speedup (speedup >= 2.0) alarms_same j4_same cold_same
        warm_same nf ni ns)
+
+(* ------------------------------------------------------------------ *)
+(* E13 - resource governor: tick overhead and forced degradation       *)
+(* ------------------------------------------------------------------ *)
+
+let e13 ~quick () =
+  section
+    "E13: resource governor - budget-tick overhead and degradation\n\
+     claims checked: an armed governor that never trips costs <= 2%\n\
+     on the E12 workload and leaves the result bit-identical; an\n\
+     undersized budget degrades (never aborts) and the degraded run's\n\
+     alarms cover the full run's";
+  let stages, width = if quick then (6, 8) else (16, 10) in
+  let src = cascade_source ~stages ~width in
+  let cfg = { C.Config.default with C.Config.max_octagon_pack = width } in
+  let p, _ = C.Analysis.compile [ ("e13.c", src) ] in
+  let best_of n f =
+    let best = ref infinity in
+    let r = ref None in
+    for _ = 1 to n do
+      let v, t = time f in
+      if t < !best then best := t;
+      r := Some v
+    done;
+    (Option.get !r, !best)
+  in
+  (* A/B in one binary: same analysis, hook disarmed vs armed with a
+     budget so large it never trips - only the tick cost differs *)
+  let r_base, t_base = best_of 3 (fun () -> C.Analysis.analyze ~cfg p) in
+  let gcfg = { cfg with C.Config.timeout = 3600. } in
+  let r_gov, t_gov = best_of 3 (fun () -> R.Degrade.analyze ~cfg:gcfg p) in
+  let overhead = (t_gov -. t_base) /. Float.max t_base 1e-9 in
+  let identical = P.Merge.fingerprint r_gov = P.Merge.fingerprint r_base in
+  let never_tripped = r_gov.C.Analysis.r_stats.C.Analysis.s_degraded = None in
+  Fmt.pr "%-28s %10s@." "governor" "time(s)";
+  Fmt.pr "%-28s %10.2f@." "disarmed (plain analyze)" t_base;
+  Fmt.pr "%-28s %10.2f@." "armed, budget never trips" t_gov;
+  Fmt.pr "tick overhead: %.2f%%   <= 2%%: %b   fingerprint identical: %b@."
+    (100. *. overhead) (overhead <= 0.02) identical;
+  (* undersized budget: the ladder sheds precision instead of aborting *)
+  let budget = Float.max 0.02 (t_base /. 8.) in
+  let dcfg = { cfg with C.Config.timeout = budget } in
+  let r_deg, t_deg = time (fun () -> R.Degrade.analyze ~cfg:dcfg p) in
+  let alarm_key (a : C.Alarm.t) = (a.C.Alarm.a_kind, a.C.Alarm.a_loc) in
+  let superset =
+    List.for_all
+      (fun a ->
+        List.exists
+          (fun b -> alarm_key a = alarm_key b)
+          r_deg.C.Analysis.r_alarms)
+      r_base.C.Analysis.r_alarms
+  in
+  (match r_deg.C.Analysis.r_stats.C.Analysis.s_degraded with
+  | Some d ->
+      Fmt.pr
+        "budget %.2fs: degraded level %d (%s), %.2fs wall, shed %d octagon \
+         packs, alarms superset of full run: %b@."
+        budget d.C.Analysis.dg_level d.C.Analysis.dg_reason t_deg
+        d.C.Analysis.dg_shed_oct_packs superset
+  | None ->
+      Fmt.pr "budget %.2fs: finished without degrading (%.2fs wall)@." budget
+        t_deg);
+  json_record "e13"
+    (Printf.sprintf
+       "{\"quick\": %b, \"t_disarmed\": %.6f, \"t_armed\": %.6f, \
+        \"tick_overhead\": %.5f, \"overhead_le_2pct\": %b, \
+        \"fingerprint_identical\": %b, \"armed_never_tripped\": %b, \
+        \"degraded\": %b, \"degraded_level\": %d, \
+        \"degraded_superset\": %b}"
+       quick t_base t_gov overhead (overhead <= 0.02) identical never_tripped
+       (r_deg.C.Analysis.r_stats.C.Analysis.s_degraded <> None)
+       (match r_deg.C.Analysis.r_stats.C.Analysis.s_degraded with
+       | Some d -> d.C.Analysis.dg_level
+       | None -> 0)
+       superset)
+
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -919,6 +998,7 @@ let () =
   if want "e10" then e10 ();
   if want "e11" then e11 ();
   if want "e12" then e12 ~quick ();
+  if want "e13" then e13 ~quick ();
   if want "micro" then micro ();
   (match json_path with Some path -> json_write path | None -> ());
   Fmt.pr "@.done.@."

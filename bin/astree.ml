@@ -13,10 +13,9 @@ open Cmdliner
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* ------------------------------------------------------------------ *)
 (* JSON output (--format json)                                         *)
@@ -72,24 +71,45 @@ let json_stats (s : C.Analysis.stats) : string =
   in
   "{" ^ base ^ cache ^ "}"
 
-(** The whole result as one JSON object: alarms, statistics and the
+let json_degraded (d : C.Analysis.degraded) : string =
+  Printf.sprintf
+    "{\"reason\": %s, \"level\": %d, \"shed_octagon_packs\": %d, \
+     \"shed_ellipsoid_packs\": %d, \"shed_decision_tree_packs\": %d, \
+     \"partitioning_disabled\": %b, \"widening_accelerated\": %b}"
+    (json_str d.C.Analysis.dg_reason)
+    d.C.Analysis.dg_level d.C.Analysis.dg_shed_oct_packs
+    d.C.Analysis.dg_shed_ell_packs d.C.Analysis.dg_shed_dt_packs
+    d.C.Analysis.dg_partitioning_disabled d.C.Analysis.dg_widening_accelerated
+
+(** The whole result as one JSON object: alarms, statistics, the
     deterministic result fingerprint ([Merge.fingerprint], the digest
-    the equivalence tests compare). *)
+    the equivalence tests compare), and — for degraded or interrupted
+    runs — a top-level "degraded" block. *)
 let print_json (r : C.Analysis.result) : unit =
+  let degraded =
+    match r.C.Analysis.r_stats.C.Analysis.s_degraded with
+    | None -> ""
+    | Some d -> Printf.sprintf ", \"degraded\": %s" (json_degraded d)
+  in
   print_string
     (Printf.sprintf
-       "{\"alarms\": [%s], \"stats\": %s, \"fingerprint\": %s}\n"
+       "{\"alarms\": [%s], \"stats\": %s, \"fingerprint\": %s%s}\n"
        (String.concat ", " (List.map json_alarm r.C.Analysis.r_alarms))
        (json_stats r.C.Analysis.r_stats)
-       (json_str (Astree_parallel.Merge.fingerprint r)))
+       (json_str (Astree_parallel.Merge.fingerprint r))
+       degraded)
 
 let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
     partitioned max_dt_bools useful_packs jobs cache_dir cache_mem no_cache
-    format dump_invariants dump_census slice_alarms profile verbose =
+    timeout max_mem format dump_invariants dump_census slice_alarms profile
+    verbose =
   if files = [] then `Error (false, "no input files")
   else
     try
       if profile then Astree_domains.Profile.enabled := true;
+      (* a SIGINT/SIGTERM mid-analysis tears down the worker pool,
+         flushes the summary cache and prints the partial result *)
+      Astree_robust.Budget.install_signal_handlers ();
       let jobs =
         if jobs = 0 then Astree_parallel.Scheduler.default_jobs ()
         else max 1 jobs
@@ -110,6 +130,8 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
           C.Config.default with
           C.Config.jobs;
           summary_cache;
+          timeout = (if timeout > 0. then timeout else 0.);
+          max_mem_mb = max 0 max_mem;
           use_octagons = not no_oct;
           use_ellipsoids = not no_ell;
           use_decision_trees = not no_dt;
@@ -144,7 +166,7 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
           else { cfg with C.Config.partitioned_functions = marked }
       in
       let p, _stats = C.Analysis.compile ~main sources in
-      let r = C.Analysis.analyze ~cfg p in
+      let r = Astree_robust.Degrade.analyze ~cfg p in
       (* cache counters are a --verbose detail: default output stays
          byte-identical to the cache-less analyzer *)
       let r =
@@ -187,7 +209,12 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
             Fmt.pr "%a@." S.Slicer.pp_slice sl)
           r.C.Analysis.r_alarms
       end;
-      if C.Analysis.n_alarms r = 0 then `Ok 0 else `Ok 1
+      (* exit codes: 0 clean, 1 alarms, 3 degraded-but-complete,
+         130 interrupted (the usual 128+SIGINT convention) *)
+      (match r.C.Analysis.r_stats.C.Analysis.s_degraded with
+      | Some d when d.C.Analysis.dg_reason = "interrupted" -> `Ok 130
+      | Some _ -> `Ok 3
+      | None -> if C.Analysis.n_alarms r = 0 then `Ok 0 else `Ok 1)
     with
     | F.Lexer.Error (m, l) | F.Parser.Error (m, l) | F.Typecheck.Error (m, l)
       ->
@@ -195,6 +222,7 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
     | F.Preproc.Error (m, l) ->
         `Error (false, Fmt.str "%a: preprocessor: %s" F.Loc.pp l m)
     | C.Iterator.Analysis_error m -> `Error (false, m)
+    | Sys_error msg -> `Error (false, msg)
 
 let files_arg =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"C source files")
@@ -225,6 +253,8 @@ let cmd =
         $ Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc:"Persist function summaries in $(docv), reusing them across runs (results are unaffected)")
         $ flag "cache-mem" "In-memory function-summary cache for this run only"
         $ flag "no-cache" "Disable the summary cache, overriding $(b,--cache) and $(b,--cache-mem)"
+        $ Arg.(value & opt float 0. & info [ "timeout" ] ~docv:"SECS" ~doc:"Wall-clock budget for the analysis; on overrun, precision is shed soundly (degraded exit code 3) instead of aborting (0 = unbounded)")
+        $ Arg.(value & opt int 0 & info [ "max-mem" ] ~docv:"MB" ~doc:"Major-heap watermark in MiB, with the same sound degradation as $(b,--timeout) (0 = unbounded)")
         $ Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json) (one object with alarms, stats and the result fingerprint)")
         $ flag "dump-invariants" "Print loop invariants"
         $ flag "census" "Print the main-loop invariant census (Sect. 9.4.1)"

@@ -17,6 +17,19 @@ type cache_stats = {
   c_save_time : float; (** seconds spent saving the store *)
 }
 
+(** Record of a degraded run, filled by [Astree_robust.Degrade] when a
+    resource budget tripped (or the run was interrupted) and the
+    analysis finished with shed precision.  [None] for ordinary runs. *)
+type degraded = {
+  dg_reason : string;  (** "timeout", "memory" or "interrupted" *)
+  dg_level : int;      (** ladder step reached, 1..3 (0 = interrupted) *)
+  dg_shed_oct_packs : int;
+  dg_shed_ell_packs : int;
+  dg_shed_dt_packs : int;
+  dg_partitioning_disabled : bool;
+  dg_widening_accelerated : bool;
+}
+
 type stats = {
   s_globals_before : int;  (** globals before unused-variable deletion *)
   s_globals_after : int;
@@ -28,6 +41,7 @@ type stats = {
   s_dt_packs : int;
   s_time : float;          (** analysis wall-clock seconds *)
   s_cache : cache_stats option;
+  s_degraded : degraded option;
 }
 
 type result = {
@@ -62,11 +76,18 @@ let cache_driver :
     (Config.t -> F.Tast.program -> (unit -> result) -> result) option ref =
   ref None
 
+(** The context of the analysis currently running in this process, set
+    by [analyze_prepared] before entering the iterator.  The robust
+    subsystem reads it to assemble a partial result (alarms found so
+    far) when the run is interrupted by SIGINT/SIGTERM. *)
+let live_actx : Transfer.actx option ref = ref None
+
 (** Analyze a typed program against an already-prepared context (the
     parallel scheduler builds and pre-fills the context before forking
     its workers, then runs the iterator through this entry point). *)
 let analyze_prepared (actx : Transfer.actx) (p : F.Tast.program) : result =
   let t0 = Unix.gettimeofday () in
+  live_actx := Some actx;
   let final = Iterator.run actx in
   let t1 = Unix.gettimeofday () in
   let alarms = Alarm.to_list actx.Transfer.alarms in
@@ -86,6 +107,7 @@ let analyze_prepared (actx : Transfer.actx) (p : F.Tast.program) : result =
         s_dt_packs = List.length actx.Transfer.packs.Packing.dts;
         s_time = t1 -. t0;
         s_cache = None;
+        s_degraded = None;
       };
   }
 
@@ -147,9 +169,19 @@ let pp_stats ppf (s : stats) =
      useful); ellipsoid packs: %d; decision-tree packs: %d;@ time: %.3fs"
     s.s_globals_before s.s_globals_after s.s_cells s.s_stmts s.s_oct_packs
     s.s_oct_useful s.s_ell_packs s.s_dt_packs s.s_time;
-  match s.s_cache with
+  (match s.s_cache with
   | None -> ()
-  | Some c -> Fmt.pf ppf "@\n%a" pp_cache_stats c
+  | Some c -> Fmt.pf ppf "@\n%a" pp_cache_stats c);
+  match s.s_degraded with
+  | None -> ()
+  | Some d ->
+      Fmt.pf ppf
+        "@\ndegraded (%s, level %d): %d octagon / %d ellipsoid / %d \
+         decision-tree pack(s) shed%s%s"
+        d.dg_reason d.dg_level d.dg_shed_oct_packs d.dg_shed_ell_packs
+        d.dg_shed_dt_packs
+        (if d.dg_partitioning_disabled then "; partitioning off" else "")
+        (if d.dg_widening_accelerated then "; widening accelerated" else "")
 
 let pp_result ppf (r : result) =
   Fmt.pf ppf "%d alarm(s)@\n%a@\n%a" (n_alarms r)

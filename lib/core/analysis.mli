@@ -12,6 +12,18 @@ type cache_stats = {
   c_save_time : float; (** seconds spent saving the store *)
 }
 
+(** Record of a degraded run, filled by [Astree_robust.Degrade] when a
+    resource budget tripped and precision was shed; [None] otherwise. *)
+type degraded = {
+  dg_reason : string;  (** "timeout", "memory" or "interrupted" *)
+  dg_level : int;      (** ladder step reached, 1..3 (0 = interrupted) *)
+  dg_shed_oct_packs : int;
+  dg_shed_ell_packs : int;
+  dg_shed_dt_packs : int;
+  dg_partitioning_disabled : bool;
+  dg_widening_accelerated : bool;
+}
+
 type stats = {
   s_globals_before : int;  (** globals before unused-variable deletion *)
   s_globals_after : int;
@@ -23,6 +35,7 @@ type stats = {
   s_dt_packs : int;
   s_time : float;          (** analysis wall-clock seconds *)
   s_cache : cache_stats option;
+  s_degraded : degraded option;
 }
 
 type result = {
@@ -59,6 +72,11 @@ val cache_driver :
   (Config.t -> Astree_frontend.Tast.program -> (unit -> result) -> result)
   option
   ref
+
+(** Context of the analysis currently running in this process, set by
+    [analyze_prepared]; read by the robust subsystem to assemble a
+    partial result on interrupt. *)
+val live_actx : Transfer.actx option ref
 
 (** Frontend pipeline: preprocess, parse, link, type-check, simplify.
     Sources are (filename, contents) pairs. *)

@@ -71,6 +71,20 @@ type t = {
           [Cache_dir d] additionally persists them in directory [d]
           across runs and processes.  Never affects analysis results,
           only their cost — hence excluded from the config fingerprint *)
+  (* ---- resource budget (Astree_robust) ------------------------------ *)
+  timeout : float;
+      (** wall-clock budget in seconds for the whole analysis; [0.] means
+          unbounded.  When the budget trips, the robust subsystem sheds
+          precision (soundly) instead of aborting *)
+  max_mem_mb : int;
+      (** major-heap watermark in MiB; [0] means unbounded.  Same
+          degradation behaviour as [timeout] *)
+  shed_packs_above : int option;
+      (** when [Some k], relational packs (octagon, ellipsoid, decision
+          tree) with more than [k] variables are dropped to intervals.
+          [None] keeps every pack.  Set by the degradation ladder, not by
+          end users directly; affects results (soundly: fewer packs can
+          only lose precision), hence part of the config fingerprint *)
 }
 
 and cache = Cache_off | Cache_mem | Cache_dir of string
@@ -101,6 +115,9 @@ let default : t =
     naive_environments = false;
     jobs = 1;
     summary_cache = Cache_off;
+    timeout = 0.;
+    max_mem_mb = 0;
+    shed_packs_above = None;
   }
 
 let cache_enabled (cfg : t) : bool = cfg.summary_cache <> Cache_off

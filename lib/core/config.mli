@@ -55,6 +55,12 @@ type t = {
       (** function-summary memoization: [Cache_mem] within one run,
           [Cache_dir d] persisted in [d] across runs; never affects
           results, only their cost *)
+  (* ---- resource budget (Astree_robust) ------------------------------ *)
+  timeout : float;   (** wall-clock budget in seconds; [0.] = unbounded *)
+  max_mem_mb : int;  (** major-heap watermark in MiB; [0] = unbounded *)
+  shed_packs_above : int option;
+      (** drop relational packs wider than [k] variables to intervals;
+          set by the degradation ladder *)
 }
 
 and cache = Cache_off | Cache_mem | Cache_dir of string

@@ -225,6 +225,23 @@ let mk_job (a : Transfer.actx) ~(binds : Transfer.binds)
   }
 
 (* ------------------------------------------------------------------ *)
+(* Statement tick                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The resource governor (Astree_robust.Budget) needs a periodic check
+   point inside the fixpoint engine without the core depending on it, so
+   — like [par_hook] and [call_memo] — it installs a hook.  The hook is
+   only consulted every 256 abstract statements: the common path is one
+   increment, one land and one branch. *)
+
+let tick_hook : (unit -> unit) ref = ref (fun () -> ())
+let tick_count = ref 0
+
+let tick () =
+  incr tick_count;
+  if !tick_count land 0xFF = 0 then !tick_hook ()
+
+(* ------------------------------------------------------------------ *)
 (* Statements                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -241,6 +258,7 @@ let widen_state ~thresholds (inv : Astate.t) (next : Astate.t) : Astate.t =
 
 let rec exec_stmt (a : Transfer.actx) ~(part : bool) ~(stack : string list)
     (binds : Transfer.binds) (sts : Astate.t list) (s : stmt) : outcome =
+  tick ();
   match live sts with
   | [] -> no_flow
   | sts -> (

@@ -125,6 +125,12 @@ val par_hook : (par_job list -> par_reply option list) option ref
 (** Minimal statement count of a block before it is worth dispatching. *)
 val par_min_stmts : int ref
 
+(** Called every 256 abstract statements.  The resource governor
+    (Astree_robust.Budget) installs its budget check here; the default
+    is a no-op.  Like [par_hook], a hook so the core stays independent
+    of the robustness subsystem. *)
+val tick_hook : (unit -> unit) ref
+
 (** Worker-side execution of one job against the forked context. *)
 val par_run_job : Transfer.actx -> par_job -> par_reply
 

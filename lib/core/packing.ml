@@ -403,7 +403,21 @@ let compute (cfg : Config.t) (p : program) : t =
         ~max_nums:cfg.Config.max_dtree_nums p
     else []
   in
-  { octs; ells; dts }
+  (* degradation ladder (Astree_robust.Degrade): keep only packs of at
+     most [k] variables.  Dropping a pack loses precision but never
+     soundness — relational invariants are a refinement of the interval
+     environment, which is always maintained *)
+  match cfg.Config.shed_packs_above with
+  | None -> { octs; ells; dts }
+  | Some k ->
+      {
+        octs = List.filter (fun op -> Array.length op.op_vars <= k) octs;
+        ells = List.filter (fun ep -> Array.length ep.ep_vars <= k) ells;
+        dts =
+          List.filter
+            (fun dp -> Array.length dp.dp_bools + Array.length dp.dp_nums <= k)
+            dts;
+      }
 
 let stats (t : t) : string =
   Fmt.str "octagon packs: %d, ellipsoid packs: %d, decision-tree packs: %d"

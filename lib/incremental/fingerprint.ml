@@ -173,8 +173,12 @@ and add_block buf calls (b : F.Tast.block) =
 (** Digest of every result-affecting configuration field.  [jobs] and
     [summary_cache] are excluded — both are result-neutral by
     construction, so a [-j 1] warm run may reuse a [-j 4] store and
-    vice versa.  Written as one explicit tuple so adding a [Config]
-    field breaks this function until the field is classified. *)
+    vice versa.  [timeout] and [max_mem_mb] are likewise excluded: the
+    budget never changes a run that completes, only whether a coarser
+    configuration (whose own fingerprint differs via
+    [shed_packs_above]) is tried instead.  Written as one explicit
+    tuple so adding a [Config] field breaks this function until the
+    field is classified. *)
 let config_digest (cfg : C.Config.t) : string =
   let open C.Config in
   let repr =
@@ -198,7 +202,8 @@ let config_digest (cfg : C.Config.t) : string =
         cfg.useful_packs_only,
         cfg.max_clock,
         cfg.expand_array_max,
-        cfg.naive_environments ) )
+        cfg.naive_environments,
+        cfg.shed_packs_above ) )
   in
   Digest.to_hex (Digest.string (Marshal.to_string repr [ Marshal.No_sharing ]))
 

@@ -1,9 +1,13 @@
 (** On-disk summary store: one file per program fingerprint.
 
-    Each file is a versioned magic header followed by a [Marshal]ed
-    payload tagged with the OCaml version (marshalling is not stable
-    across compiler versions) and the program fingerprint it was saved
-    under.  Writes go through a temporary file and an atomic rename, so
+    Each file is a versioned magic header, an MD5 digest of the
+    payload, and then the [Marshal]ed payload tagged with the OCaml
+    version (marshalling is not stable across compiler versions) and
+    the program fingerprint it was saved under.  The digest matters:
+    [Marshal] has no internal checksum, so without it a flipped bit in
+    a stored summary could deserialize into a *different valid*
+    summary and silently poison a warm run.  Writes go through a
+    temporary file and an atomic rename, so
     concurrent batch workers and interrupted runs can never leave a
     half-written store.  Loading is strictly best-effort: a missing,
     truncated, corrupt, stale or foreign file yields an empty summary
@@ -11,8 +15,9 @@
     fails an analysis. *)
 
 module C = Astree_core
+module Faultsim = Astree_robust.Faultsim
 
-let magic = "astree-summary-store v1\n"
+let magic = "astree-summary-store v2\n"
 
 type entries = (C.Iterator.summary_key * C.Iterator.summary) array
 
@@ -44,9 +49,18 @@ let load ~(dir : string) ~(key : string) :
             warn "summary store %s: bad magic, ignored" file;
             []
           end
-          else
+          else begin
+            (* fault injection: behave exactly as a corrupt payload *)
+            if Faultsim.fires Faultsim.Cache_corrupt then
+              failwith "fault injection: corrupt store read";
+            let stored_digest =
+              really_input_string ic 16 (* Digest.string length *)
+            in
+            let payload = In_channel.input_all ic in
+            if Digest.string payload <> stored_digest then
+              failwith "payload digest mismatch";
             let ver, stored_key, (entries : entries) =
-              (Marshal.from_channel ic
+              (Marshal.from_string payload 0
                 : string * string * entries)
             in
             if ver <> Sys.ocaml_version then begin
@@ -57,7 +71,8 @@ let load ~(dir : string) ~(key : string) :
               warn "summary store %s: stale program fingerprint, ignored" file;
               []
             end
-            else Array.to_list entries)
+            else Array.to_list entries
+          end)
     with
     | Sys_error msg ->
         warn "summary store %s: %s, ignored" file msg;
@@ -71,19 +86,32 @@ let save ~(dir : string) ~(key : string)
   try
     mkdir_p dir;
     let tmp = Filename.temp_file ~temp_dir:dir "summaries" ".tmp" in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc magic;
-        (* sharing-preserving marshal: summary exit states share most of
-           their structure (packs, trees), and expanding it would blow
-           the file up by orders of magnitude.  Only [entry_digest]
-           needs the canonical No_sharing form; the store blob does
-           not. *)
-        Marshal.to_channel oc
-          (Sys.ocaml_version, key, (Array.of_list entries : entries))
-          []);
-    Sys.rename tmp (file_of ~dir ~key)
+    (* any failure between here and the rename (a full disk, an injected
+       ENOSPC) must not leave the temporary behind: remove it before
+       reporting the write as failed *)
+    (try
+       let oc = open_out_bin tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           if Faultsim.fires Faultsim.Cache_write then
+             raise (Sys_error (tmp ^ ": fault injection: no space left"));
+           (* sharing-preserving marshal: summary exit states share most
+              of their structure (packs, trees), and expanding it would
+              blow the file up by orders of magnitude.  Only
+              [entry_digest] needs the canonical No_sharing form; the
+              store blob does not. *)
+           let payload =
+             Marshal.to_string
+               (Sys.ocaml_version, key, (Array.of_list entries : entries))
+               []
+           in
+           output_string oc magic;
+           output_string oc (Digest.string payload);
+           output_string oc payload);
+       Sys.rename tmp (file_of ~dir ~key)
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e)
   with Sys_error msg | Unix.Unix_error (_, msg, _) ->
     warn "summary store not saved in %s: %s" dir msg

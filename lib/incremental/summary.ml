@@ -169,11 +169,19 @@ let driver (cfg : C.Config.t) (p : F.Tast.program)
   let ss = attach cfg p in
   let r =
     try core ()
-    with e ->
-      (* failed analyses save nothing: a partial table is valid, but an
-         aborted run should leave the store exactly as it found it *)
-      ignore (detach ~save:false cfg ss);
-      raise e
+    with
+    | Astree_robust.Budget.Tripped _ as e ->
+        (* a budget trip or an interrupt is not a failed analysis: every
+           summary computed so far is valid, so flush the table (the
+           store write is atomic) before unwinding — the next run starts
+           warm, and a SIGINT loses no work *)
+        ignore (detach ~save:true cfg ss);
+        raise e
+    | e ->
+        (* failed analyses save nothing: a partial table is valid, but an
+           aborted run should leave the store exactly as it found it *)
+        ignore (detach ~save:false cfg ss);
+        raise e
   in
   let cstats = detach cfg ss in
   {

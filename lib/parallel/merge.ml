@@ -63,6 +63,12 @@ let sum_stats (ss : C.Analysis.stats list) : C.Analysis.stats =
         s_dt_packs = acc.s_dt_packs + s.s_dt_packs;
         s_time = acc.s_time +. s.s_time;
         s_cache = sum_cache_stats acc.s_cache s.s_cache;
+        (* a batch is degraded as soon as any member degraded; the first
+           member's record is representative (keep-first) *)
+        s_degraded =
+          (match acc.s_degraded with
+          | Some _ as d -> d
+          | None -> s.s_degraded);
       })
     {
       C.Analysis.s_globals_before = 0;
@@ -75,6 +81,7 @@ let sum_stats (ss : C.Analysis.stats list) : C.Analysis.stats =
       s_dt_packs = 0;
       s_time = 0.;
       s_cache = None;
+      s_degraded = None;
     }
     ss
 

@@ -32,23 +32,31 @@ type ('a, 'b) t = {
 
 let size (p : ('a, 'b) t) = Array.length p.p_workers
 
-(* Test hook: when ASTREE_PAR_CHAOS is set, every worker process kills
-   itself on its first job, exercising the crash -> respawn -> retry ->
-   in-process-fallback ladder end to end. *)
-let chaos_enabled () =
-  match Sys.getenv_opt "ASTREE_PAR_CHAOS" with
-  | Some s -> s <> ""
-  | None -> false
+(* Fault injection (Astree_robust.Faultsim): the crash / hang /
+   truncated-reply recovery paths are exercised by seed-driven injection
+   points here.  The historical ASTREE_PAR_CHAOS variable is honoured by
+   Faultsim as an alias for "every worker crashes on every job". *)
+module Faultsim = Astree_robust.Faultsim
 
 let worker_loop (f : 'a -> 'b) (ic : in_channel) (oc : out_channel) : unit =
   let rec loop () =
     match (try Some (Marshal.from_channel ic : 'a) with End_of_file -> None) with
     | None -> ()
     | Some job ->
-        if chaos_enabled () then Unix._exit 3;
+        if Faultsim.fires Faultsim.Worker_crash then Unix._exit 3;
+        if Faultsim.fires Faultsim.Worker_hang then
+          Unix.sleepf !Faultsim.hang_seconds;
         let reply : ('b, string) result =
           try Ok (f job) with e -> Error (Printexc.to_string e)
         in
+        if Faultsim.fires Faultsim.Reply_truncate then begin
+          (* half a marshalled reply, then die: the parent must treat the
+             short read as a crash, not deliver garbage *)
+          let s = Marshal.to_string reply [] in
+          output_string oc (String.sub s 0 (max 1 (String.length s / 2)));
+          flush oc;
+          Unix._exit 3
+        end;
         Marshal.to_channel oc reply [];
         flush oc;
         loop ()
@@ -84,19 +92,23 @@ let spawn (f : 'a -> 'b) (foreign : Unix.file_descr list) : worker =
         w_fd = res_r;
       }
 
-let worker_fds (workers : worker array) : Unix.file_descr list =
-  Array.to_list workers
-  |> List.concat_map (fun w -> [ Unix.descr_of_out_channel w.w_oc; w.w_fd ])
+let worker_fds (workers : worker list) : Unix.file_descr list =
+  List.concat_map
+    (fun w -> [ Unix.descr_of_out_channel w.w_oc; w.w_fd ])
+    workers
 
 let create ~(jobs : int) (f : 'a -> 'b) : ('a, 'b) t =
   if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
   (* a worker dying mid-write must surface as EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let workers = Array.make jobs (Obj.magic 0 : worker) in
-  for w = 0 to jobs - 1 do
-    workers.(w) <- spawn f (worker_fds (Array.sub workers 0 w))
-  done;
-  { p_run = f; p_workers = workers; p_alive = true }
+  (* build the worker list first (each child closing the pipes of the
+     already-spawned workers), then freeze it into the array: no
+     placeholder element exists at any point, so [spawn] raising
+     mid-loop leaves a well-typed (if short-lived) list behind *)
+  let rec go acc w =
+    if w = jobs then List.rev acc else go (spawn f (worker_fds acc) :: acc) (w + 1)
+  in
+  { p_run = f; p_workers = Array.of_list (go [] 0); p_alive = true }
 
 let dispose_worker (wk : worker) : unit =
   (try Unix.kill wk.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
@@ -107,9 +119,7 @@ let dispose_worker (wk : worker) : unit =
 let respawn (p : ('a, 'b) t) (w : int) : unit =
   dispose_worker p.p_workers.(w);
   let others =
-    worker_fds
-      (Array.of_list
-         (List.filteri (fun i _ -> i <> w) (Array.to_list p.p_workers)))
+    worker_fds (List.filteri (fun i _ -> i <> w) (Array.to_list p.p_workers))
   in
   p.p_workers.(w) <- spawn p.p_run others
 
@@ -166,6 +176,9 @@ let map ?(timeout = infinity) (p : ('a, 'b) t) (jobs : 'a list) :
     end
   in
   while !completed < n do
+    (* honor the resource budget even while blocked on workers: a trip
+       unwinds through [with_pool]'s finalizer, so no worker outlives it *)
+    Astree_robust.Budget.poll ();
     (* hand a job to every idle worker *)
     for w = 0 to nw - 1 do
       if busy.(w) = None && !next < n then begin
@@ -176,7 +189,12 @@ let map ?(timeout = infinity) (p : ('a, 'b) t) (jobs : 'a list) :
           Marshal.to_channel wk.w_oc jobs.(j) [];
           flush wk.w_oc
         with
-        | () -> busy.(w) <- Some (j, Unix.gettimeofday () +. timeout)
+        | () ->
+            let dl =
+              if timeout = infinity then infinity
+              else Unix.gettimeofday () +. timeout
+            in
+            busy.(w) <- Some (j, dl)
         | exception _ ->
             fail j "worker pipe closed on send";
             respawn p w
@@ -191,8 +209,26 @@ let map ?(timeout = infinity) (p : ('a, 'b) t) (jobs : 'a list) :
       !acc
     in
     if waiting <> [] then begin
+      (* without job deadlines or a budget there is nothing to poll for:
+         block until a reply (or EOF) arrives — EINTR from a signal still
+         wakes us, and the loop header re-polls the budget.  Otherwise
+         sleep until the nearest deadline, capped at 0.1 s. *)
+      let budget_dl = Astree_robust.Budget.armed_deadline () in
+      let select_dt =
+        if timeout = infinity && budget_dl = infinity then -1.0
+        else begin
+          let nearest = ref budget_dl in
+          if timeout < infinity then
+            Array.iter
+              (function
+                | Some (_, dl) -> if dl < !nearest then nearest := dl
+                | None -> ())
+              busy;
+          max 0.0 (min 0.1 (!nearest -. Unix.gettimeofday ()))
+        end
+      in
       let readable, _, _ =
-        try Unix.select waiting [] [] 0.1
+        try Unix.select waiting [] [] select_dt
         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
       in
       Array.iteri
@@ -213,17 +249,20 @@ let map ?(timeout = infinity) (p : ('a, 'b) t) (jobs : 'a list) :
                   respawn p w)
           | _ -> ())
         busy;
-      (* enforce per-job deadlines *)
-      let now = Unix.gettimeofday () in
-      Array.iteri
-        (fun w slot ->
-          match slot with
-          | Some (j, dl) when now > dl ->
-              fail j "worker timed out";
-              busy.(w) <- None;
-              respawn p w
-          | _ -> ())
-        busy
+      (* enforce per-job deadlines (none exist when [timeout] is
+         infinite, so skip the clock read and the scan entirely) *)
+      if timeout < infinity then begin
+        let now = Unix.gettimeofday () in
+        Array.iteri
+          (fun w slot ->
+            match slot with
+            | Some (j, dl) when now > dl ->
+                fail j "worker timed out";
+                busy.(w) <- None;
+                respawn p w
+            | _ -> ())
+          busy
+      end
     end
   done;
   Array.to_list results

@@ -1,0 +1,26 @@
+(** Sound graceful degradation: when a resource budget trips, restart
+    the analysis under a coarser configuration from a three-step ladder
+    instead of aborting.  Every step only removes refinements, so a
+    degraded run's alarms are a superset of the full run's. *)
+
+(** Widest relational pack kept by ladder step 1 (default 3: ellipsoid
+    packs survive, wider octagon/decision-tree packs are shed). *)
+val shed_threshold : int ref
+
+(** The configuration at ladder step [level] (1..3, cumulative):
+    1 = shed packs wider than {!shed_threshold}, 2 = + no trace
+    partitioning, 3 = + immediate threshold-less widening.  Exposed for
+    the soundness property test. *)
+val config_at : level:int -> Astree_core.Config.t -> Astree_core.Config.t
+
+val max_level : int
+
+(** Analyze under the budget of [cfg] ([timeout] / [max_mem_mb]);
+    identical to [Analysis.analyze] when no budget is armed and no
+    signal handlers are installed.  [stats.s_degraded] is [Some _] iff
+    precision was shed or the run was interrupted (in which case the
+    result is partial: alarms found so far, bottom final state). *)
+val analyze :
+  ?cfg:Astree_core.Config.t ->
+  Astree_frontend.Tast.program ->
+  Astree_core.Analysis.result

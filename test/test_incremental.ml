@@ -210,7 +210,11 @@ let with_cache_driver k =
       C.Analysis.cache_driver := None;
       C.Iterator.call_memo := None;
       C.Iterator.memo_min_stmts := min0)
-    k
+    (fun () ->
+      (* counter assertions (hits > 0, loaded > 0, misses = 0) only hold
+         without injected store faults: mask them so the suite stays
+         green under a global ASTREE_FAULTS chaos run *)
+      Astree_robust.Faultsim.with_suppressed k)
 
 let with_tmpdir k =
   match Sys.getenv_opt "ASTREE_TEST_CACHE" with

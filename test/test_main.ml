@@ -26,4 +26,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("incremental", Test_incremental.suite);
       ("soundness", Test_soundness.suite);
+      ("robust", Test_robust.suite);
     ]

@@ -8,6 +8,13 @@ module C = Astree_core
 module F = Astree_frontend
 module G = Astree_gen
 module P = Astree_parallel
+module R = Astree_robust
+
+(* The pool unit tests below assert exact Ok/Error patterns, so they
+   mask fault injection ([Faultsim.with_suppressed]): the suite stays
+   green under a global ASTREE_FAULTS chaos run, while the equivalence
+   tests keep the faults live — those must hold whatever is injected. *)
+let no_faults = R.Faultsim.with_suppressed
 
 (* force dispatch on the small programs used in tests *)
 let with_min_stmts n k =
@@ -26,6 +33,7 @@ let ok_exn = function
   | Error e -> Alcotest.failf "job failed: %s" e
 
 let test_pool_order () =
+  no_faults @@ fun () ->
   P.Pool.with_pool ~jobs:3
     (fun x -> x * x)
     (fun pool ->
@@ -36,6 +44,7 @@ let test_pool_order () =
         (List.map ok_exn rs))
 
 let test_pool_exception () =
+  no_faults @@ fun () ->
   P.Pool.with_pool ~jobs:2
     (fun x -> if x = 3 then failwith "boom" else x + 1)
     (fun pool ->
@@ -49,6 +58,7 @@ let test_pool_exception () =
         (List.length (List.filter Result.is_ok rs)))
 
 let test_pool_crash_respawn () =
+  no_faults @@ fun () ->
   P.Pool.with_pool ~jobs:2
     (fun x -> if x = 2 then Unix._exit 7 else 10 * x)
     (fun pool ->
@@ -60,6 +70,7 @@ let test_pool_crash_respawn () =
         (P.Pool.map pool [ 5; 6 ] = [ Ok 50; Ok 60 ]))
 
 let test_pool_timeout () =
+  no_faults @@ fun () ->
   P.Pool.with_pool ~jobs:2
     (fun x ->
       if x = 2 then Unix.sleepf 10.;

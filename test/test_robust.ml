@@ -1,0 +1,508 @@
+(* Robustness-subsystem tests: the degradation ladder is sound (alarms
+   of every degraded configuration are a superset of the full run's on
+   every example program), budget trips degrade instead of aborting, an
+   interrupt yields a partial result, and every Faultsim injection point
+   — worker crash, worker hang, truncated reply, cache corrupt-read,
+   cache write-failure — exercises its recovery path. *)
+
+module C = Astree_core
+module F = Astree_frontend
+module G = Astree_gen
+module I = Astree_incremental
+module P = Astree_parallel
+module R = Astree_robust
+
+(* ---------------- helpers ---------------- *)
+
+(* tests run from the dune sandbox; walk up to the repository root *)
+let read_example name =
+  let rec find dir depth =
+    let cand = Filename.concat dir (Filename.concat "examples/data" name) in
+    if Sys.file_exists cand then Some cand
+    else if depth = 0 then None
+    else find (Filename.dirname dir) (depth - 1)
+  in
+  match find (Sys.getcwd ()) 6 with
+  | None -> None
+  | Some path ->
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some s
+
+let example_names = [ "mini_fbw.c"; "filter_bank.c"; "buggy_demo.c" ]
+
+let alarm_keys (r : C.Analysis.result) =
+  List.map
+    (fun (a : C.Alarm.t) -> (a.C.Alarm.a_kind, a.C.Alarm.a_loc))
+    r.C.Analysis.r_alarms
+
+let is_superset ~big ~small =
+  List.for_all (fun k -> List.mem k big) small
+
+let degraded_exn (r : C.Analysis.result) =
+  match r.C.Analysis.r_stats.C.Analysis.s_degraded with
+  | Some d -> d
+  | None -> Alcotest.fail "expected a degraded result"
+
+let member_program () =
+  let g =
+    G.Generator.generate
+      {
+        G.Generator.default with
+        G.Generator.seed = 5;
+        target_lines = 600;
+        fuse = 8;
+      }
+  in
+  let p, _ = C.Analysis.compile [ ("m.c", g.G.Generator.source) ] in
+  ( {
+      C.Config.default with
+      C.Config.partitioned_functions = g.G.Generator.partition_fns;
+    },
+    p )
+
+let with_env var value k =
+  let saved = Option.value (Sys.getenv_opt var) ~default:"" in
+  Unix.putenv var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv var saved) k
+
+let with_tmpdir k =
+  let dir = Filename.temp_file "astree-robust" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> k dir)
+
+let with_cache_driver k =
+  I.Summary.register ();
+  let min0 = !C.Iterator.memo_min_stmts in
+  C.Iterator.memo_min_stmts := 0;
+  Fun.protect
+    ~finally:(fun () ->
+      C.Analysis.cache_driver := None;
+      C.Iterator.call_memo := None;
+      C.Iterator.memo_min_stmts := min0)
+    k
+
+let store_file dir cfg p =
+  let fps = I.Fingerprint.make cfg p in
+  Filename.concat dir (I.Fingerprint.program fps ^ ".summaries")
+
+(* ---------------- budget ---------------- *)
+
+let test_budget_poll () =
+  R.Budget.disarm ();
+  R.Budget.poll ();
+  (* a deadline in the past trips on the next poll *)
+  R.Budget.arm ~deadline:(Unix.gettimeofday () -. 1.) ();
+  (match R.Budget.poll () with
+  | () -> Alcotest.fail "expected Tripped Timeout"
+  | exception R.Budget.Tripped R.Budget.Timeout -> ()
+  | exception _ -> Alcotest.fail "wrong exception");
+  R.Budget.disarm ();
+  R.Budget.poll ();
+  (* a 1 MiB watermark is below any live OCaml major heap *)
+  R.Budget.arm ~max_mem_mb:1 ();
+  (match R.Budget.poll () with
+  | () -> Alcotest.fail "expected Tripped Memory"
+  | exception R.Budget.Tripped R.Budget.Memory -> ()
+  | exception _ -> Alcotest.fail "wrong exception");
+  R.Budget.disarm ();
+  (* the interrupt flag wins over everything and is consumed explicitly *)
+  R.Budget.interrupt ();
+  (match R.Budget.poll () with
+  | () -> Alcotest.fail "expected Tripped Interrupted"
+  | exception R.Budget.Tripped R.Budget.Interrupted -> ());
+  R.Budget.clear_interrupt ();
+  R.Budget.poll ()
+
+(* the iterator actually ticks the installed hook during an analysis *)
+let test_tick_hook_fires () =
+  match read_example "mini_fbw.c" with
+  | None -> Alcotest.skip ()
+  | Some src ->
+      let p, _ = C.Analysis.compile [ ("mini_fbw.c", src) ] in
+      let ticks = ref 0 in
+      C.Iterator.tick_hook := (fun () -> incr ticks);
+      Fun.protect
+        ~finally:(fun () -> C.Iterator.tick_hook := (fun () -> ()))
+        (fun () ->
+          ignore (C.Analysis.analyze p);
+          Alcotest.(check bool) "hook called during analysis" true (!ticks > 0))
+
+(* ---------------- degradation ladder soundness ---------------- *)
+
+(* For every example program and every ladder step: the degraded
+   configuration's alarms must cover the full configuration's.  This is
+   the property that makes shedding sound to ship: degrading can cry
+   wolf, it can never go quiet about a real error. *)
+let test_ladder_superset () =
+  List.iter
+    (fun name ->
+      match read_example name with
+      | None -> ()
+      | Some src ->
+          let p, _ = C.Analysis.compile [ (name, src) ] in
+          let cfg = C.Config.default in
+          let full = C.Analysis.analyze ~cfg p in
+          for level = 1 to R.Degrade.max_level do
+            let deg =
+              C.Analysis.analyze ~cfg:(R.Degrade.config_at ~level cfg) p
+            in
+            Alcotest.(check bool)
+              (Fmt.str "%s: level %d alarms cover the full run's" name level)
+              true
+              (is_superset ~big:(alarm_keys deg) ~small:(alarm_keys full))
+          done)
+    example_names
+
+let test_timeout_degrades () =
+  let cfg, p = member_program () in
+  let full = R.Degrade.analyze ~cfg p in
+  (* a budget far below the full-run cost forces the ladder *)
+  let r = R.Degrade.analyze ~cfg:{ cfg with C.Config.timeout = 0.02 } p in
+  let d = degraded_exn r in
+  Alcotest.(check string) "tripped on the clock" "timeout"
+    d.C.Analysis.dg_reason;
+  Alcotest.(check bool) "reached a ladder step" true
+    (d.C.Analysis.dg_level >= 1 && d.C.Analysis.dg_level <= 3);
+  Alcotest.(check bool) "degraded alarms cover the full run's" true
+    (is_superset ~big:(alarm_keys r) ~small:(alarm_keys full));
+  (* no budget, no degradation marker *)
+  Alcotest.(check bool) "unconstrained run is not degraded" true
+    (full.C.Analysis.r_stats.C.Analysis.s_degraded = None)
+
+let test_memory_degrades () =
+  let cfg, p = member_program () in
+  (* 1 MiB is below the heap before the analysis even starts: every
+     level trips and the final disarmed rerun delivers the result *)
+  let r = R.Degrade.analyze ~cfg:{ cfg with C.Config.max_mem_mb = 1 } p in
+  let d = degraded_exn r in
+  Alcotest.(check string) "tripped on memory" "memory" d.C.Analysis.dg_reason;
+  Alcotest.(check int) "cascaded to the last step" R.Degrade.max_level
+    d.C.Analysis.dg_level
+
+let test_interrupt_partial () =
+  let cfg, p = member_program () in
+  (* flag preset: the first tick of the analysis sees it — the same path
+     a SIGINT mid-run takes, minus the asynchrony *)
+  R.Budget.interrupt ();
+  Fun.protect
+    ~finally:(fun () -> R.Budget.clear_interrupt ())
+    (fun () ->
+      let r = R.Degrade.analyze ~cfg p in
+      let d = degraded_exn r in
+      Alcotest.(check string)
+        "marked interrupted" "interrupted" d.C.Analysis.dg_reason;
+      Alcotest.(check bool)
+        "partial run never claims to finish" true
+        (C.Astate.is_bot r.C.Analysis.r_final));
+  Alcotest.(check bool) "flag consumed" false (R.Budget.interrupt_pending ())
+
+(* shed_packs_above actually removes wide packs, and only wide ones *)
+let test_shed_filter () =
+  let cfg, p = member_program () in
+  let full = C.Packing.compute cfg p in
+  let shed =
+    C.Packing.compute { cfg with C.Config.shed_packs_above = Some 3 } p
+  in
+  Alcotest.(check bool) "some octagon pack survives" true
+    (List.length shed.C.Packing.octs > 0);
+  Alcotest.(check bool) "wide packs were dropped" true
+    (List.length shed.C.Packing.octs < List.length full.C.Packing.octs);
+  List.iter
+    (fun (op : C.Packing.oct_pack) ->
+      Alcotest.(check bool) "every kept pack is narrow" true
+        (Array.length op.C.Packing.op_vars <= 3))
+    shed.C.Packing.octs
+
+(* ---------------- faultsim: spec, determinism, alias ---------------- *)
+
+let test_faultsim_spec () =
+  with_env "ASTREE_PAR_CHAOS" "" (fun () ->
+      with_env "ASTREE_FAULTS" "5:worker_crash=0.5,cache_corrupt" (fun () ->
+          R.Faultsim.reset_counters ();
+          let d = R.Faultsim.describe () in
+          Alcotest.(check bool) "seed parsed" true
+            (String.length d > 0 && d <> "faults: off");
+          Alcotest.(check bool) "prob-1 point always fires" true
+            (R.Faultsim.fires R.Faultsim.Cache_corrupt);
+          Alcotest.(check bool) "unarmed point never fires" false
+            (R.Faultsim.fires R.Faultsim.Worker_hang));
+      with_env "ASTREE_FAULTS" "not-a-spec" (fun () ->
+          Alcotest.(check bool) "malformed spec disables injection" false
+            (R.Faultsim.fires R.Faultsim.Worker_crash)))
+
+let fire_pattern n p =
+  R.Faultsim.reset_counters ();
+  List.init n (fun _ -> R.Faultsim.fires p)
+
+let test_faultsim_deterministic () =
+  R.Faultsim.install ~seed:11 [ (R.Faultsim.Worker_crash, 0.5) ];
+  Fun.protect
+    ~finally:(fun () ->
+      R.Faultsim.clear ();
+      R.Faultsim.reset_counters ())
+    (fun () ->
+      let a = fire_pattern 200 R.Faultsim.Worker_crash in
+      let b = fire_pattern 200 R.Faultsim.Worker_crash in
+      Alcotest.(check (list bool)) "same seed, same schedule" a b;
+      Alcotest.(check bool) "schedule actually mixes" true
+        (List.mem true a && List.mem false a);
+      R.Faultsim.install ~seed:12 [ (R.Faultsim.Worker_crash, 0.5) ];
+      let c = fire_pattern 200 R.Faultsim.Worker_crash in
+      Alcotest.(check bool) "different seed, different schedule" true (a <> c))
+
+let test_faultsim_suppression () =
+  R.Faultsim.install ~seed:1 [ (R.Faultsim.Worker_crash, 1.0) ];
+  Fun.protect
+    ~finally:(fun () ->
+      R.Faultsim.clear ();
+      R.Faultsim.reset_counters ())
+    (fun () ->
+      Alcotest.(check bool) "armed" true
+        (R.Faultsim.fires R.Faultsim.Worker_crash);
+      R.Faultsim.with_suppressed (fun () ->
+          Alcotest.(check bool) "masked" false
+            (R.Faultsim.fires R.Faultsim.Worker_crash));
+      Alcotest.(check bool) "armed again" true
+        (R.Faultsim.fires R.Faultsim.Worker_crash))
+
+let test_par_chaos_alias () =
+  (* an empty ASTREE_FAULTS means unset: the legacy variable applies *)
+  with_env "ASTREE_FAULTS" "" (fun () ->
+      with_env "ASTREE_PAR_CHAOS" "1" (fun () ->
+          R.Faultsim.reset_counters ();
+          Alcotest.(check bool) "alias arms worker crashes" true
+            (R.Faultsim.fires R.Faultsim.Worker_crash);
+          Alcotest.(check bool) "alias arms nothing else" false
+            (R.Faultsim.fires R.Faultsim.Cache_corrupt)))
+
+(* ---------------- faultsim: pool injection points ---------------- *)
+
+(* each test arms its point before forking (workers inherit the spec)
+   and clears it before the next pool is created *)
+let with_faults ~seed probs k =
+  R.Faultsim.install ~seed probs;
+  Fun.protect
+    ~finally:(fun () ->
+      R.Faultsim.clear ();
+      R.Faultsim.reset_counters ())
+    k
+
+let test_inject_worker_crash () =
+  with_faults ~seed:3
+    [ (R.Faultsim.Worker_crash, 1.0) ]
+    (fun () ->
+      P.Pool.with_pool ~jobs:2
+        (fun x -> x + 1)
+        (fun pool ->
+          let rs = P.Pool.map pool [ 1; 2; 3 ] in
+          Alcotest.(check int) "every job dies with its worker" 3
+            (List.length (List.filter Result.is_error rs))));
+  (* a clean pool created after [clear] works *)
+  P.Pool.with_pool ~jobs:2
+    (fun x -> x + 1)
+    (fun pool ->
+      Alcotest.(check bool) "recovered after clear" true
+        (P.Pool.map pool [ 1; 2 ] = [ Ok 2; Ok 3 ]))
+
+let test_inject_worker_hang () =
+  let saved = !R.Faultsim.hang_seconds in
+  R.Faultsim.hang_seconds := 5.;
+  Fun.protect
+    ~finally:(fun () -> R.Faultsim.hang_seconds := saved)
+    (fun () ->
+      with_faults ~seed:4
+        [ (R.Faultsim.Worker_hang, 1.0) ]
+        (fun () ->
+          P.Pool.with_pool ~jobs:2
+            (fun x -> x + 1)
+            (fun pool ->
+              match P.Pool.map ~timeout:0.3 pool [ 1 ] with
+              | [ Error e ] ->
+                  Alcotest.(check string)
+                    "the coordinator's deadline ends the hang"
+                    "worker timed out" e
+              | _ -> Alcotest.fail "expected a timed-out job")))
+
+let test_inject_reply_truncate () =
+  with_faults ~seed:5
+    [ (R.Faultsim.Reply_truncate, 1.0) ]
+    (fun () ->
+      P.Pool.with_pool ~jobs:2
+        (fun x -> x * 10)
+        (fun pool ->
+          match P.Pool.map pool [ 1 ] with
+          | [ Error e ] ->
+              (* a half-written reply must read as a dead worker, never
+                 as a garbled Ok *)
+              Alcotest.(check string) "short read = crash" "worker crashed" e
+          | _ -> Alcotest.fail "expected the truncated reply to fail"))
+
+(* injected faults or none, -j must still match the sequential result *)
+let test_equiv_under_injection () =
+  let saved = !C.Iterator.par_min_stmts in
+  C.Iterator.par_min_stmts := 1;
+  Fun.protect
+    ~finally:(fun () -> C.Iterator.par_min_stmts := saved)
+    (fun () ->
+      let cfg, p = member_program () in
+      let seq = C.Analysis.analyze ~cfg:{ cfg with C.Config.jobs = 1 } p in
+      with_faults ~seed:9
+        [ (R.Faultsim.Worker_crash, 0.3); (R.Faultsim.Reply_truncate, 0.2) ]
+        (fun () ->
+          let par = P.Scheduler.analyze ~cfg:{ cfg with C.Config.jobs = 2 } p in
+          Alcotest.(check string)
+            "identical despite injected crashes and truncations"
+            (P.Merge.fingerprint seq) (P.Merge.fingerprint par)))
+
+(* ---------------- faultsim: store injection points ---------------- *)
+
+let test_inject_cache_corrupt () =
+  match read_example "mini_fbw.c" with
+  | None -> Alcotest.skip ()
+  | Some src ->
+      let p, _ = C.Analysis.compile [ ("mini_fbw.c", src) ] in
+      with_tmpdir (fun dir ->
+          with_cache_driver (fun () ->
+              let ccfg =
+                {
+                  C.Config.default with
+                  C.Config.summary_cache = C.Config.Cache_dir dir;
+                }
+              in
+              let cold = C.Analysis.analyze ~cfg:ccfg p in
+              with_faults ~seed:6
+                [ (R.Faultsim.Cache_corrupt, 1.0) ]
+                (fun () ->
+                  let warm = C.Analysis.analyze ~cfg:ccfg p in
+                  Alcotest.(check string)
+                    "corrupt read degrades to cold, same result"
+                    (P.Merge.fingerprint cold) (P.Merge.fingerprint warm);
+                  match warm.C.Analysis.r_stats.C.Analysis.s_cache with
+                  | Some cs ->
+                      Alcotest.(check int) "nothing loaded" 0
+                        cs.C.Analysis.c_loaded
+                  | None -> Alcotest.fail "expected cache stats")))
+
+let test_inject_cache_write () =
+  match read_example "mini_fbw.c" with
+  | None -> Alcotest.skip ()
+  | Some src ->
+      let p, _ = C.Analysis.compile [ ("mini_fbw.c", src) ] in
+      with_tmpdir (fun dir ->
+          with_cache_driver (fun () ->
+              let ccfg =
+                {
+                  C.Config.default with
+                  C.Config.summary_cache = C.Config.Cache_dir dir;
+                }
+              in
+              let off = C.Analysis.analyze ~cfg:C.Config.default p in
+              with_faults ~seed:7
+                [ (R.Faultsim.Cache_write, 1.0) ]
+                (fun () ->
+                  let r = C.Analysis.analyze ~cfg:ccfg p in
+                  Alcotest.(check string)
+                    "failed save never changes the result"
+                    (P.Merge.fingerprint off) (P.Merge.fingerprint r));
+              Alcotest.(check bool) "no store file written" false
+                (Sys.file_exists (store_file dir ccfg p));
+              (* the aborted write must not leak its temporary either *)
+              Array.iter
+                (fun f ->
+                  Alcotest.(check bool)
+                    (f ^ ": no temp leftover")
+                    false
+                    (Filename.check_suffix f ".tmp"))
+                (Sys.readdir dir)))
+
+(* physically corrupt and mid-write-truncated stores: both degrade to
+   cold with byte-identical results (satellite of the chaos test) *)
+let test_store_corrupt_and_truncated () =
+  match read_example "filter_bank.c" with
+  | None -> Alcotest.skip ()
+  | Some src ->
+      let p, _ = C.Analysis.compile [ ("filter_bank.c", src) ] in
+      (* physical damage, not injection: env-armed faults would stop the
+         cold run from populating the store in the first place *)
+      R.Faultsim.with_suppressed @@ fun () ->
+      with_tmpdir (fun dir ->
+          with_cache_driver (fun () ->
+              let ccfg =
+                {
+                  C.Config.default with
+                  C.Config.summary_cache = C.Config.Cache_dir dir;
+                }
+              in
+              let cold = C.Analysis.analyze ~cfg:ccfg p in
+              let file = store_file dir ccfg p in
+              let blob = In_channel.with_open_bin file In_channel.input_all in
+              let check_degraded name =
+                let r = C.Analysis.analyze ~cfg:ccfg p in
+                Alcotest.(check string)
+                  (name ^ ": byte-identical to cold")
+                  (P.Merge.fingerprint cold) (P.Merge.fingerprint r);
+                match r.C.Analysis.r_stats.C.Analysis.s_cache with
+                | Some cs ->
+                    Alcotest.(check int) (name ^ ": nothing loaded") 0
+                      cs.C.Analysis.c_loaded
+                | None -> Alcotest.fail "expected cache stats"
+              in
+              (* bit rot in the middle of the payload *)
+              let rotten = Bytes.of_string blob in
+              let mid = Bytes.length rotten / 2 in
+              Bytes.set rotten mid
+                (Char.chr (Char.code (Bytes.get rotten mid) lxor 0xFF));
+              Out_channel.with_open_bin file (fun oc ->
+                  Out_channel.output_bytes oc rotten);
+              check_degraded "corrupt";
+              (* a write that stopped halfway *)
+              Out_channel.with_open_bin file (fun oc ->
+                  Out_channel.output_string oc
+                    (String.sub blob 0 (String.length blob / 2)));
+              check_degraded "truncated"))
+
+let suite =
+  [
+    Alcotest.test_case "budget: poll trips and clears" `Quick test_budget_poll;
+    Alcotest.test_case "budget: iterator ticks the hook" `Quick
+      test_tick_hook_fires;
+    Alcotest.test_case "ladder: alarms superset on every example" `Slow
+      test_ladder_superset;
+    Alcotest.test_case "ladder: shed filter keeps narrow packs" `Quick
+      test_shed_filter;
+    Alcotest.test_case "degrade: timeout sheds, stays sound" `Slow
+      test_timeout_degrades;
+    Alcotest.test_case "degrade: memory watermark cascades" `Quick
+      test_memory_degrades;
+    Alcotest.test_case "degrade: interrupt yields partial result" `Quick
+      test_interrupt_partial;
+    Alcotest.test_case "faultsim: env spec parsing" `Quick test_faultsim_spec;
+    Alcotest.test_case "faultsim: deterministic schedules" `Quick
+      test_faultsim_deterministic;
+    Alcotest.test_case "faultsim: suppression masks points" `Quick
+      test_faultsim_suppression;
+    Alcotest.test_case "faultsim: ASTREE_PAR_CHAOS alias" `Quick
+      test_par_chaos_alias;
+    Alcotest.test_case "inject: worker crash" `Quick test_inject_worker_crash;
+    Alcotest.test_case "inject: worker hang" `Quick test_inject_worker_hang;
+    Alcotest.test_case "inject: truncated reply" `Quick
+      test_inject_reply_truncate;
+    Alcotest.test_case "inject: -j equivalence under faults" `Slow
+      test_equiv_under_injection;
+    Alcotest.test_case "inject: cache corrupt read" `Quick
+      test_inject_cache_corrupt;
+    Alcotest.test_case "inject: cache write failure" `Quick
+      test_inject_cache_write;
+    Alcotest.test_case "store: corrupt + truncated degrade to cold" `Quick
+      test_store_corrupt_and_truncated;
+  ]
