@@ -40,12 +40,25 @@ let json_escape (s : string) : string =
 let json_str s = "\"" ^ json_escape s ^ "\""
 
 let json_alarm (a : C.Alarm.t) : string =
+  let prov =
+    match a.C.Alarm.a_prov with
+    | None -> ""
+    | Some p ->
+        Printf.sprintf
+          ", \"chain\": [%s], \"domain\": %s, \"operands\": {%s}"
+          (String.concat ", " (List.map json_str p.C.Alarm.p_chain))
+          (json_str p.C.Alarm.p_domain)
+          (String.concat ", "
+             (List.map
+                (fun (e, v) -> json_str e ^ ": " ^ json_str v)
+                p.C.Alarm.p_operands))
+  in
   Printf.sprintf
-    "{\"kind\": %s, \"file\": %s, \"line\": %d, \"col\": %d, \"message\": %s}"
+    "{\"kind\": %s, \"file\": %s, \"line\": %d, \"col\": %d, \"message\": %s%s}"
     (json_str (C.Alarm.kind_to_string a.C.Alarm.a_kind))
     (json_str a.C.Alarm.a_loc.F.Loc.file)
     a.C.Alarm.a_loc.F.Loc.line a.C.Alarm.a_loc.F.Loc.col
-    (json_str a.C.Alarm.a_msg)
+    (json_str a.C.Alarm.a_msg) prov
 
 let json_stats (s : C.Analysis.stats) : string =
   let base =
@@ -81,32 +94,56 @@ let json_degraded (d : C.Analysis.degraded) : string =
     d.C.Analysis.dg_shed_ell_packs d.C.Analysis.dg_shed_dt_packs
     d.C.Analysis.dg_partitioning_disabled d.C.Analysis.dg_widening_accelerated
 
-(** The whole result as one JSON object: alarms, statistics, the
-    deterministic result fingerprint ([Merge.fingerprint], the digest
-    the equivalence tests compare), and — for degraded or interrupted
-    runs — a top-level "degraded" block. *)
-let print_json (r : C.Analysis.result) : unit =
+(** The whole result as one JSON object: alarms (with provenance when
+    recorded), statistics (cache counters always included when a cache
+    ran — unlike the text report they are not a [--verbose] detail),
+    the useful-octagon-pack ids, the deterministic result fingerprint
+    ([Merge.fingerprint], the digest the equivalence tests compare),
+    for degraded or interrupted runs a "degraded" block, and — only
+    when [--metrics] is active — the full metrics registry. *)
+let print_json ?(metrics = false) (r : C.Analysis.result) : unit =
   let degraded =
     match r.C.Analysis.r_stats.C.Analysis.s_degraded with
     | None -> ""
     | Some d -> Printf.sprintf ", \"degraded\": %s" (json_degraded d)
   in
+  let metrics_block =
+    (* opt-in: the registry holds volatile counters (timings, per-run
+       cache traffic), and the default JSON must stay byte-comparable
+       across equivalent runs (warm vs. cold cache, -j1 vs. -j4) *)
+    if metrics then
+      Printf.sprintf ", \"metrics\": %s"
+        (Astree_obs.Metrics.render_json ~timers:false ())
+    else ""
+  in
   print_string
     (Printf.sprintf
-       "{\"alarms\": [%s], \"stats\": %s, \"fingerprint\": %s%s}\n"
+       "{\"alarms\": [%s], \"stats\": %s, \"octagon_useful_ids\": [%s], \
+        \"fingerprint\": %s%s%s}\n"
        (String.concat ", " (List.map json_alarm r.C.Analysis.r_alarms))
        (json_stats r.C.Analysis.r_stats)
+       (String.concat ", "
+          (List.map string_of_int (C.Analysis.useful_octagon_packs r)))
        (json_str (Astree_parallel.Merge.fingerprint r))
-       degraded)
+       degraded metrics_block)
 
 let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
     partitioned max_dt_bools useful_packs jobs cache_dir cache_mem no_cache
     timeout max_mem format dump_invariants dump_census slice_alarms profile
-    verbose =
+    trace_file metrics_file explain verbose =
   if files = [] then `Error (false, "no input files")
   else
     try
       if profile then Astree_domains.Profile.enabled := true;
+      (* the trace sink is opened before any analysis work so frontend
+         phase spans land in the file too; [Trace.close] at the end
+         flushes whatever the ring still holds *)
+      (match trace_file with
+      | None -> ()
+      | Some f ->
+          Astree_obs.Trace.enabled := true;
+          Astree_obs.Trace.set_sink (open_out f));
+      if metrics_file <> None then Astree_obs.Metrics.timing := true;
       (* a SIGINT/SIGTERM mid-analysis tears down the worker pool,
          flushes the summary cache and prints the partial result *)
       Astree_robust.Budget.install_signal_handlers ();
@@ -167,21 +204,36 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
       in
       let p, _stats = C.Analysis.compile ~main sources in
       let r = Astree_robust.Degrade.analyze ~cfg p in
-      (* cache counters are a --verbose detail: default output stays
-         byte-identical to the cache-less analyzer *)
-      let r =
-        if verbose then r
-        else
-          {
-            r with
-            C.Analysis.r_stats =
-              { r.C.Analysis.r_stats with C.Analysis.s_cache = None };
-          }
-      in
+      (match metrics_file with
+      | None -> ()
+      | Some f ->
+          let oc = open_out f in
+          output_string oc (Astree_obs.Metrics.render_json ());
+          output_char oc '\n';
+          close_out oc);
       (match format with
-      | `Json -> print_json r
+      | `Json -> print_json ~metrics:(metrics_file <> None) r
       | `Text ->
+          (* cache counters are a --verbose detail of the text report:
+             default output stays byte-identical to the cache-less
+             analyzer (JSON always carries them) *)
+          let r =
+            if verbose then r
+            else
+              {
+                r with
+                C.Analysis.r_stats =
+                  { r.C.Analysis.r_stats with C.Analysis.s_cache = None };
+              }
+          in
           Fmt.pr "%a@." C.Analysis.pp_result r;
+          if explain && r.C.Analysis.r_alarms <> [] then begin
+            Fmt.pr "--- alarm provenance ---@.";
+            List.iter
+              (fun (al : C.Alarm.t) ->
+                Fmt.pr "%a@." C.Alarm.pp_explain al)
+              r.C.Analysis.r_alarms
+          end;
           if verbose then
             Fmt.pr "useful octagon packs: %a@."
               Fmt.(list ~sep:comma int)
@@ -209,20 +261,26 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
             Fmt.pr "%a@." S.Slicer.pp_slice sl)
           r.C.Analysis.r_alarms
       end;
+      Astree_obs.Trace.close ();
       (* exit codes: 0 clean, 1 alarms, 3 degraded-but-complete,
          130 interrupted (the usual 128+SIGINT convention) *)
       (match r.C.Analysis.r_stats.C.Analysis.s_degraded with
       | Some d when d.C.Analysis.dg_reason = "interrupted" -> `Ok 130
       | Some _ -> `Ok 3
       | None -> if C.Analysis.n_alarms r = 0 then `Ok 0 else `Ok 1)
-    with
-    | F.Lexer.Error (m, l) | F.Parser.Error (m, l) | F.Typecheck.Error (m, l)
-      ->
-        `Error (false, Fmt.str "%a: %s" F.Loc.pp l m)
-    | F.Preproc.Error (m, l) ->
-        `Error (false, Fmt.str "%a: preprocessor: %s" F.Loc.pp l m)
-    | C.Iterator.Analysis_error m -> `Error (false, m)
-    | Sys_error msg -> `Error (false, msg)
+    with e -> (
+      (* flush whatever the trace ring holds — a trace that stops at the
+         failing phase is exactly what one wants for a post-mortem *)
+      Astree_obs.Trace.close ();
+      match e with
+      | F.Lexer.Error (m, l) | F.Parser.Error (m, l)
+      | F.Typecheck.Error (m, l) ->
+          `Error (false, Fmt.str "%a: %s" F.Loc.pp l m)
+      | F.Preproc.Error (m, l) ->
+          `Error (false, Fmt.str "%a: preprocessor: %s" F.Loc.pp l m)
+      | C.Iterator.Analysis_error m -> `Error (false, m)
+      | Sys_error msg -> `Error (false, msg)
+      | e -> raise e)
 
 let files_arg =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"C source files")
@@ -259,7 +317,10 @@ let cmd =
         $ flag "dump-invariants" "Print loop invariants"
         $ flag "census" "Print the main-loop invariant census (Sect. 9.4.1)"
         $ flag "slice" "Print a backward slice for each alarm (Sect. 3.3)"
-        $ flag "profile" "Print per-domain cumulative timings and counters on stderr at exit (coordinator process only)"
+        $ flag "profile" "Print per-domain cumulative timings and counters on stderr at exit (merged across workers)"
+        $ Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write a structured event trace (one JSON object per line: phase spans, per-loop fixpoint records, call inlining, parallel dispatch, cache traffic, degradation) to $(docv)")
+        $ Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Write the unified metrics registry (counters, gauges, histograms, timers) as JSON to $(docv); with $(b,--format json) the registry is also embedded in the report")
+        $ flag "explain" "After the report, print each alarm with its provenance: the inlining call chain, the abstract domain that raised it, and the abstract operand values"
         $ flag "verbose" "Print extra statistics"))
 
 let () = exit (Cmd.eval' cmd)

@@ -29,11 +29,43 @@ let kind_to_string = function
 
 let pp_kind ppf k = Fmt.string ppf (kind_to_string k)
 
-type t = { a_kind : kind; a_loc : F.Loc.t; a_msg : string }
+(** Provenance (ISSUE 5): why and where the alarm fired — the iterator's
+    inlining stack at the alarm point, the abstract domain whose
+    approximation the alarmed check ran in, and the abstract values of
+    the offending operands.  Diagnostic payload only: dedup, compare and
+    [pp] (hence the parallel fingerprint) ignore it. *)
+type prov = {
+  p_chain : string list;  (** innermost first, main last *)
+  p_domain : string;
+  p_operands : (string * string) list;
+}
+
+type t = {
+  a_kind : kind;
+  a_loc : F.Loc.t;
+  a_msg : string;
+  a_prov : prov option;
+}
 
 let pp ppf a =
   Fmt.pf ppf "%a: ALARM: %a%s" F.Loc.pp a.a_loc pp_kind a.a_kind
     (if a.a_msg = "" then "" else ": " ^ a.a_msg)
+
+(** The --explain rendering: the [pp] line followed by indented
+    provenance (call chain, raising domain, operand values). *)
+let pp_explain ppf a =
+  pp ppf a;
+  match a.a_prov with
+  | None -> Fmt.pf ppf "@.    (no provenance recorded)"
+  | Some p ->
+      Fmt.pf ppf "@.    in: %s"
+        (match p.p_chain with
+        | [] -> "<toplevel>"
+        | chain -> String.concat " <- " chain);
+      Fmt.pf ppf "@.    domain: %s" p.p_domain;
+      List.iter
+        (fun (e, v) -> Fmt.pf ppf "@.    %s = %s" e v)
+        p.p_operands
 
 let compare (a : t) (b : t) =
   let c = F.Loc.compare a.a_loc b.a_loc in
@@ -41,35 +73,48 @@ let compare (a : t) (b : t) =
 
 (** Alarm collector: alarms are deduplicated by (location, kind), so a
     program point reanalyzed many times (polyvariant calls, loop
-    iterations) reports once, as the paper's alarm counts do. *)
+    iterations) reports once, as the paper's alarm counts do.  [chain]
+    mirrors the iterator's inlining stack (innermost first); the
+    iterator maintains it so every report picks up its calling context
+    for free. *)
 type collector = {
   mutable alarms : (kind * F.Loc.t, t) Hashtbl.t;
   mutable enabled : bool;  (** false in iteration mode, true in checking *)
+  mutable chain : string list;
 }
 
-let make_collector () = { alarms = Hashtbl.create 64; enabled = false }
+let make_collector () =
+  { alarms = Hashtbl.create 64; enabled = false; chain = [] }
 
-let report (c : collector) (kind : kind) (loc : F.Loc.t) (msg : string) : unit
-    =
+let report ?(domain = "interval") ?(operands = []) (c : collector)
+    (kind : kind) (loc : F.Loc.t) (msg : string) : unit =
   if c.enabled then
     let key = (kind, loc) in
     if not (Hashtbl.mem c.alarms key) then
-      Hashtbl.replace c.alarms key { a_kind = kind; a_loc = loc; a_msg = msg }
+      Hashtbl.replace c.alarms key
+        {
+          a_kind = kind;
+          a_loc = loc;
+          a_msg = msg;
+          a_prov =
+            Some
+              { p_chain = c.chain; p_domain = domain; p_operands = operands };
+        }
 
 let to_list (c : collector) : t list =
   Hashtbl.fold (fun _ a acc -> a :: acc) c.alarms [] |> List.sort compare
 
 let count (c : collector) : int = Hashtbl.length c.alarms
 
-(** Drop every recorded alarm (the enabled flag is kept).  Used by
-    parallel workers to isolate the alarms of each job. *)
+(** Drop every recorded alarm (the enabled flag and chain are kept).
+    Used by parallel workers to isolate the alarms of each job. *)
 let reset (c : collector) : unit = c.alarms <- Hashtbl.create 64
 
 (** Merge alarms produced elsewhere (a worker process) into [c],
     irrespective of [c.enabled]: the emitting job already ran under the
     right checking mode.  Keeps the first alarm per (kind, location), so
     merging job deltas in job order reproduces the sequential
-    deduplication exactly. *)
+    deduplication exactly — including which provenance survives. *)
 let absorb (c : collector) (delta : t list) : unit =
   List.iter
     (fun (a : t) ->

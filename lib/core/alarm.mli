@@ -16,13 +16,31 @@ type kind =
 val kind_to_string : kind -> string
 val pp_kind : Format.formatter -> kind -> unit
 
+(** Provenance: the iterator's inlining stack at the alarm point
+    (innermost first), the abstract domain whose approximation raised
+    the check ("interval", "octagon", "clocked", "ellipsoid",
+    "decision-tree"), and printed abstract values of the offending
+    operands.  Purely diagnostic: {!compare}, dedup and {!pp} ignore
+    it, so fingerprints and alarm counts are unaffected. *)
+type prov = {
+  p_chain : string list;
+  p_domain : string;
+  p_operands : (string * string) list;
+}
+
 type t = {
   a_kind : kind;
   a_loc : Astree_frontend.Loc.t;
   a_msg : string;
+  a_prov : prov option;
 }
 
 val pp : Format.formatter -> t -> unit
+
+val pp_explain : Format.formatter -> t -> unit
+(** The [--explain] rendering: the {!pp} line plus indented call chain,
+    raising domain and operand values. *)
+
 val compare : t -> t -> int
 
 (** Alarm collector: alarms are deduplicated by (location, kind), so a
@@ -31,12 +49,24 @@ type collector = {
   mutable alarms : (kind * Astree_frontend.Loc.t, t) Hashtbl.t;
   mutable enabled : bool;
       (** false in iteration mode, true in checking mode (Sect. 5.3) *)
+  mutable chain : string list;
+      (** current inlining context, innermost first; maintained by the
+          iterator, recorded into each alarm's provenance *)
 }
 
 val make_collector : unit -> collector
 
-(** Record an alarm (no-op when the collector is disabled). *)
-val report : collector -> kind -> Astree_frontend.Loc.t -> string -> unit
+(** Record an alarm (no-op when the collector is disabled).  [domain]
+    defaults to ["interval"], the base domain of every check;
+    [operands] are (expression, abstract value) pairs, printed. *)
+val report :
+  ?domain:string ->
+  ?operands:(string * string) list ->
+  collector ->
+  kind ->
+  Astree_frontend.Loc.t ->
+  string ->
+  unit
 
 val to_list : collector -> t list
 val count : collector -> int

@@ -4,6 +4,17 @@
 
 module F = Astree_frontend
 module D = Astree_domains
+module Metrics = Astree_obs.Metrics
+module Trace = Astree_obs.Trace
+
+(* Exception-safe phase span: the end event is emitted on every exit so
+   the --trace file always balances, even when the frontend raises. *)
+let in_span (kind : string) (f : unit -> 'a) : 'a =
+  if not !Trace.enabled then f ()
+  else begin
+    Trace.span_begin kind;
+    Fun.protect ~finally:(fun () -> Trace.span_end kind) f
+  end
 
 (** Summary-cache effectiveness counters, present only when a cache was
     enabled for the run — [pp_stats] output is byte-identical to the
@@ -88,9 +99,22 @@ let live_actx : Transfer.actx option ref = ref None
 let analyze_prepared (actx : Transfer.actx) (p : F.Tast.program) : result =
   let t0 = Unix.gettimeofday () in
   live_actx := Some actx;
-  let final = Iterator.run actx in
+  let final = in_span "phase.iterate" (fun () -> Iterator.run actx) in
   let t1 = Unix.gettimeofday () in
   let alarms = Alarm.to_list actx.Transfer.alarms in
+  (* point-in-time program/result measures for the --metrics report
+     (gauges: coordinator-set, excluded from worker deltas) *)
+  Metrics.set_gauge "analysis.cells" (Cell.count actx.Transfer.intern);
+  Metrics.set_gauge "analysis.stmts" (F.Tast.program_size p);
+  Metrics.set_gauge "analysis.oct_packs"
+    (List.length actx.Transfer.packs.Packing.octs);
+  Metrics.set_gauge "analysis.oct_useful"
+    (Hashtbl.length actx.Transfer.oct_useful);
+  Metrics.set_gauge "analysis.ell_packs"
+    (List.length actx.Transfer.packs.Packing.ells);
+  Metrics.set_gauge "analysis.dt_packs"
+    (List.length actx.Transfer.packs.Packing.dts);
+  Metrics.set_gauge "analysis.alarms" (List.length alarms);
   {
     r_alarms = alarms;
     r_final = final;
@@ -126,16 +150,20 @@ let analyze ?(cfg = Config.default) (p : F.Tast.program) : result =
         if Config.cache_enabled cfg then Transfer.prefill_cells actx;
         analyze_prepared actx p
   in
-  match !cache_driver with
-  | Some driver when Config.cache_enabled cfg -> driver cfg p core
-  | _ -> core ()
+  in_span "phase.analyze" (fun () ->
+      match !cache_driver with
+      | Some driver when Config.cache_enabled cfg -> driver cfg p core
+      | _ -> core ())
 
 (** Frontend pipeline: preprocess, parse, link, type-check, simplify. *)
 let compile ?(target = F.Ctypes.default_target) ?(main = "main")
     (sources : (string * string) list) : F.Tast.program * F.Simplify.stats =
-  let ast = F.Linker.parse_and_link sources in
-  let p = F.Typecheck.elab_program ~target ~main ast in
-  F.Simplify.run p
+  let ast = in_span "phase.parse" (fun () -> F.Linker.parse_and_link sources) in
+  let p =
+    in_span "phase.typecheck" (fun () ->
+        F.Typecheck.elab_program ~target ~main ast)
+  in
+  in_span "phase.simplify" (fun () -> F.Simplify.run p)
 
 (** Analyze C sources given as (filename, contents) pairs. *)
 let analyze_sources ?(cfg = Config.default) ?(main = "main")
@@ -157,16 +185,21 @@ let analyze_string ?(cfg = Config.default) ?(main = "main") ?(file = "<input>")
     (src : string) : result =
   analyze_sources ~cfg ~main [ (file, src) ]
 
+(* Field labels below match the keys of the --format json output
+   (ISSUE 5): a reader can grep a JSON report and the text report with
+   the same names. *)
+
 let pp_cache_stats ppf (c : cache_stats) =
   Fmt.pf ppf
-    "summary cache: %d hit(s), %d miss(es), %d entrie(s), %d loaded;@ store \
-     load: %.3fs, save: %.3fs"
+    "summary cache: hits: %d; misses: %d; entries: %d; loaded: %d;@ \
+     load_time: %.3fs; save_time: %.3fs"
     c.c_hits c.c_misses c.c_entries c.c_loaded c.c_load_time c.c_save_time
 
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
-    "globals: %d -> %d; cells: %d; statements: %d;@ octagon packs: %d (%d \
-     useful); ellipsoid packs: %d; decision-tree packs: %d;@ time: %.3fs"
+    "globals_before: %d; globals_after: %d; cells: %d; statements: %d;@ \
+     octagon_packs: %d; octagon_useful: %d; ellipsoid_packs: %d; \
+     decision_tree_packs: %d;@ time: %.3fs"
     s.s_globals_before s.s_globals_after s.s_cells s.s_stmts s.s_oct_packs
     s.s_oct_useful s.s_ell_packs s.s_dt_packs s.s_time;
   (match s.s_cache with
@@ -176,12 +209,12 @@ let pp_stats ppf (s : stats) =
   | None -> ()
   | Some d ->
       Fmt.pf ppf
-        "@\ndegraded (%s, level %d): %d octagon / %d ellipsoid / %d \
-         decision-tree pack(s) shed%s%s"
+        "@\ndegraded: reason: %s; level: %d; shed_octagon_packs: %d; \
+         shed_ellipsoid_packs: %d; shed_decision_tree_packs: %d%s%s"
         d.dg_reason d.dg_level d.dg_shed_oct_packs d.dg_shed_ell_packs
         d.dg_shed_dt_packs
-        (if d.dg_partitioning_disabled then "; partitioning off" else "")
-        (if d.dg_widening_accelerated then "; widening accelerated" else "")
+        (if d.dg_partitioning_disabled then "; partitioning_disabled" else "")
+        (if d.dg_widening_accelerated then "; widening_accelerated" else "")
 
 let pp_result ppf (r : result) =
   Fmt.pf ppf "%d alarm(s)@\n%a@\n%a" (n_alarms r)

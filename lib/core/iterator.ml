@@ -13,9 +13,25 @@
 
 module F = Astree_frontend
 module D = Astree_domains
+module Metrics = Astree_obs.Metrics
+module Trace = Astree_obs.Trace
 open F.Tast
 
 exception Analysis_error of string
+
+(* Registry entries owned by the iterator (created once at module init;
+   bumping one is a single field increment). *)
+let c_cache_hits = Metrics.counter "cache.hits"
+let c_cache_misses = Metrics.counter "cache.misses"
+let c_calls_inlined = Metrics.counter "iter.calls_inlined"
+let c_loops = Metrics.counter "iter.loops"
+let c_par_jobs = Metrics.counter "par.jobs_dispatched"
+let c_par_deltas = Metrics.counter "par.deltas_applied"
+let h_loop_iters = Metrics.histogram "loop.iters"
+
+(* Same entry as the one bumped inside Itv.widen: read around a loop's
+   fixpoint to attribute threshold catches to that loop head. *)
+let c_threshold_hits = Metrics.counter "widen.threshold_hits"
 
 (** Flow-separated analysis outcome of a statement or block.  [o_norm]
     is a disjunction of abstract states (a singleton except under trace
@@ -166,6 +182,13 @@ type par_delta = {
           so the parent (and later jobs) reuse them *)
   pd_cache_hits : int;
   pd_cache_misses : int;
+  pd_metrics : Metrics.snapshot;
+      (** registry delta accumulated while running the job (profile
+          probes included), absorbed by the parent at merge so [-j n]
+          reports are as complete as sequential ones *)
+  pd_events : Trace.event list;
+      (** trace events emitted while running the job, re-emitted by the
+          parent in job order *)
 }
 
 type par_reply = { pr_out : outcome; pr_delta : par_delta }
@@ -193,6 +216,18 @@ let par_block_size (b : block) : int =
           n)
 
 let apply_delta (a : Transfer.actx) (d : par_delta) : unit =
+  Metrics.incr c_par_deltas;
+  Metrics.absorb d.pd_metrics;
+  if !Trace.enabled then begin
+    Trace.absorb d.pd_events;
+    Trace.emit "par.apply"
+      ~args:
+        [
+          ("alarms", Trace.I (List.length d.pd_alarms));
+          ("joins", Trace.I d.pd_joins);
+          ("summaries", Trace.I (List.length d.pd_summaries));
+        ]
+  end;
   Alarm.absorb a.Transfer.alarms d.pd_alarms;
   List.iter
     (fun (id, st) -> Hashtbl.replace a.Transfer.invariants id st)
@@ -259,6 +294,10 @@ let widen_state ~thresholds (inv : Astate.t) (next : Astate.t) : Astate.t =
 let rec exec_stmt (a : Transfer.actx) ~(part : bool) ~(stack : string list)
     (binds : Transfer.binds) (sts : Astate.t list) (s : stmt) : outcome =
   tick ();
+  (* keep the collector's inlining context in sync with the iterator's
+     stack, so every alarm reported below picks up its call chain (one
+     field write; the lists are shared, not copied) *)
+  a.Transfer.alarms.Alarm.chain <- stack;
   match live sts with
   | [] -> no_flow
   | sts -> (
@@ -285,9 +324,15 @@ let rec exec_stmt (a : Transfer.actx) ~(part : bool) ~(stack : string list)
       | Sassert e ->
           let check st =
             let bad = Transfer.guard a st binds e false in
-            if not (Astate.is_bot bad) then
-              Alarm.report a.Transfer.alarms Alarm.Assert_failure s.sloc
-                "assertion may not hold";
+            if not (Astate.is_bot bad) then begin
+              let err = ref false in
+              let i = Transfer.eval a st binds err e in
+              Alarm.report
+                ~domain:(Transfer.value_domain a st binds e)
+                ~operands:[ (Fmt.str "%a" F.Pp.pp_expr e, Fmt.str "%a" D.Itv.pp i) ]
+                a.Transfer.alarms Alarm.Assert_failure s.sloc
+                "assertion may not hold"
+            end;
             Transfer.guard a st binds e true
           in
           { no_flow with o_norm = List.map check sts }
@@ -335,6 +380,15 @@ let rec exec_stmt (a : Transfer.actx) ~(part : bool) ~(stack : string list)
                       ])
                     guarded
                 in
+                Metrics.add c_par_jobs (List.length jobs);
+                if !Trace.enabled then
+                  Trace.emit "par.dispatch"
+                    ~loc:(Fmt.str "%a" F.Loc.pp s.sloc)
+                    ~args:
+                      [
+                        ("work", Trace.S "if-branches");
+                        ("jobs", Trace.I (List.length jobs));
+                      ];
                 let replies = dispatch jobs in
                 let rec pair_up gs rs =
                   match (gs, rs) with
@@ -449,6 +503,9 @@ and exec_while (a : Transfer.actx) ~(stack : string list)
     { no_flow with o_norm = [ exits0 ]; o_ret = rets0; o_retv = retv0 }
   else begin
     (* ---- fixpoint in iteration mode (Sect. 5.5) ---- *)
+    Metrics.incr c_loops;
+    let n_widens = ref 0 and n_narrows = ref 0 and n_iters = ref 0 in
+    let thr_hits0 = Metrics.value c_threshold_hits in
     let saved_mode = a.Transfer.alarms.Alarm.enabled in
     a.Transfer.alarms.Alarm.enabled <- false;
     let count_unstable (old_ : Astate.t) (next : Astate.t) : int =
@@ -479,6 +536,7 @@ and exec_while (a : Transfer.actx) ~(stack : string list)
       end
     in
     let rec iterate i fairness prev_unstable (inv : Astate.t) : Astate.t =
+      n_iters := i;
       let after, _o = body_pass inv in
       let next = Astate.join st0 after in
       trace_state (Fmt.str "iter %d" i) next;
@@ -516,11 +574,13 @@ and exec_while (a : Transfer.actx) ~(stack : string list)
         match try_hat () with
         | Some stable -> stable
         | None ->
-            if i > 500 then
+            if i > 500 then begin
               (* safety net: force the classical widening straight to
                  infinity so the fixpoint computation always terminates *)
+              incr n_widens;
               iterate (i + 1) 0 unstable
                 (widen_state ~thresholds:D.Thresholds.none inv next)
+            end
             else if i < cfg.Config.delay_widening then
               iterate (i + 1) fairness unstable (Astate.join inv next)
             else if
@@ -532,8 +592,11 @@ and exec_while (a : Transfer.actx) ~(stack : string list)
                  still settling (they converge a couple of iterations
                  after the cells do): give them the same grace. *)
               iterate (i + 1) (fairness - 1) unstable (Astate.join inv next)
-            else iterate (i + 1) fairness unstable
-                   (widen_state ~thresholds inv next)
+            else begin
+              incr n_widens;
+              iterate (i + 1) fairness unstable
+                (widen_state ~thresholds inv next)
+            end
       end
     in
     let inv = iterate 0 cfg.Config.widening_fairness max_int st0 in
@@ -551,12 +614,18 @@ and exec_while (a : Transfer.actx) ~(stack : string list)
         let next = Astate.join st0 after in
         if Astate.subset next inv && not (Astate.equal next inv) then begin
           let check, _ = body_pass next in
-          if Astate.subset (Astate.join st0 check) next then narrow (k - 1) next
+          if Astate.subset (Astate.join st0 check) next then begin
+            incr n_narrows;
+            narrow (k - 1) next
+          end
           else
             (* fall back to the classical narrowing on infinite bounds *)
             let narrowed = Astate.narrow inv next in
             let check, _ = body_pass narrowed in
-            if Astate.subset (Astate.join st0 check) narrowed then narrowed
+            if Astate.subset (Astate.join st0 check) narrowed then begin
+              incr n_narrows;
+              narrowed
+            end
             else inv
         end
         else inv
@@ -564,6 +633,20 @@ and exec_while (a : Transfer.actx) ~(stack : string list)
     in
     let inv = narrow cfg.Config.narrowing_iterations inv in
     a.Transfer.alarms.Alarm.enabled <- saved_mode;
+    Metrics.observe h_loop_iters !n_iters;
+    if !Trace.enabled then
+      Trace.emit "loop.fixpoint"
+        ~loc:(Fmt.str "%a" F.Loc.pp c.eloc)
+        ~args:
+          [
+            ("loop", Trace.I li.loop_id);
+            ("iters", Trace.I !n_iters);
+            ("widens", Trace.I !n_widens);
+            ("narrows", Trace.I !n_narrows);
+            ("stabilized_at", Trace.I !n_iters);
+            ( "threshold_hits",
+              Trace.I (Metrics.value c_threshold_hits - thr_hits0) );
+          ];
     (* save the loop invariant for examination (Sect. 5.3) *)
     Hashtbl.replace a.Transfer.invariants li.loop_id inv;
     (* ---- extra pass, in checking mode if enabled (Sect. 5.4) ---- *)
@@ -611,6 +694,15 @@ and exec_call (a : Transfer.actx) ~(stack : string list)
                   st)
               sts
           in
+          Metrics.add c_par_jobs (List.length jobs);
+          if !Trace.enabled then
+            Trace.emit "par.dispatch"
+              ~loc:(Fmt.str "%a" F.Loc.pp s.sloc)
+              ~args:
+                [
+                  ("work", Trace.S fname);
+                  ("jobs", Trace.I (List.length jobs));
+                ];
           let replies = dispatch jobs in
           let states =
             List.map2
@@ -635,6 +727,11 @@ and exec_call (a : Transfer.actx) ~(stack : string list)
 and exec_call_one (a : Transfer.actx) ~(stack : string list)
     (binds : Transfer.binds) (st : Astate.t) (dst : var option)
     (fname : string) (fd : fundef) (args : arg list) : Astate.t =
+  Metrics.incr c_calls_inlined;
+  if !Trace.enabled then
+    Trace.emit "call.inline"
+      ~args:
+        [ ("fn", Trace.S fname); ("depth", Trace.I (List.length stack)) ];
   let stack = fname :: stack in
   let partitioned =
     List.mem fname a.Transfer.cfg.Config.partitioned_functions
@@ -713,10 +810,16 @@ and exec_call_body (a : Transfer.actx) ~(stack : string list)
           match m.cm_find key with
           | Some s ->
               incr m.cm_hits;
+              Metrics.incr c_cache_hits;
+              if !Trace.enabled then
+                Trace.emit "cache.hit" ~args:[ ("fn", Trace.S fname) ];
               Transfer.capture_replay a s.sm_delta;
               (s.sm_exit, s.sm_retv)
           | None ->
               incr m.cm_misses;
+              Metrics.incr c_cache_misses;
+              if !Trace.enabled then
+                Trace.emit "cache.miss" ~args:[ ("fn", Trace.S fname) ];
               let cap = Transfer.capture_begin a in
               let exit_env, retv =
                 try compute ()
@@ -766,6 +869,12 @@ let run (a : Transfer.actx) : Astate.t =
     bookkeeping exactly. *)
 let par_run_job (a : Transfer.actx) (job : par_job) : par_reply =
   par_hook := None (* workers are strictly sequential: no re-dispatch *);
+  (* the coordinator owns the trace file: detach the sink inherited over
+     fork (without flushing — the parent already flushed before forking)
+     and capture this job's events to ship them back in the delta *)
+  Trace.in_worker ();
+  let metrics0 = Metrics.snapshot () in
+  let cap_mark = Trace.capture_begin () in
   a.Transfer.alarms.Alarm.enabled <- job.pj_checking;
   Alarm.reset a.Transfer.alarms;
   Hashtbl.reset a.Transfer.invariants;
@@ -821,5 +930,7 @@ let par_run_job (a : Transfer.actx) (job : par_job) : par_reply =
         pd_summaries = summaries;
         pd_cache_hits = hits;
         pd_cache_misses = misses;
+        pd_metrics = Metrics.diff metrics0;
+        pd_events = Trace.capture_end cap_mark;
       };
   }

@@ -113,6 +113,13 @@ type par_delta = {
       (** summaries the worker computed, in computation order *)
   pd_cache_hits : int;
   pd_cache_misses : int;
+  pd_metrics : Astree_obs.Metrics.snapshot;
+      (** registry delta accumulated while running the job (profile
+          probes included), absorbed at merge so [-j n] metrics reports
+          are as complete as sequential ones *)
+  pd_events : Astree_obs.Trace.event list;
+      (** trace events emitted while running the job, re-emitted by the
+          parent in job order *)
 }
 
 type par_reply = { pr_out : outcome; pr_delta : par_delta }

@@ -176,9 +176,56 @@ and resolve_expr (binds : binds) (e : expr) : expr =
 (* [err] is set when any run-time error is possible in the evaluation;
    linearization refinement is then disabled (Sect. 6.3). *)
 
-let report a (err : bool ref) kind loc msg =
+let report ?domain ?operands a (err : bool ref) kind loc msg =
   err := true;
-  Alarm.report a.alarms kind loc msg
+  Alarm.report ?domain ?operands a.alarms kind loc msg
+
+(* ---- alarm provenance helpers (ISSUE 5) -------------------------- *)
+(* Cold path: these run only inside alarm branches, never on error-free
+   evaluations, so allocating strings and walking packs is fine. *)
+
+(* Which abstract domain carries the sharpest information about the
+   variables of [e]?  Two variables sharing an octagon pack means the
+   check ran under octagon constraints; a single packed variable points
+   at its ellipsoid / decision tree; a variable whose clocked components
+   carry information was bounded by the clock; everything else is the
+   plain interval evaluation. *)
+let value_domain (a : actx) (st : Astate.t) (binds : binds) (e : expr) :
+    string =
+  let vars =
+    VarSet.elements (F.Tast.expr_vars (resolve_expr binds e) VarSet.empty)
+  in
+  let in_pack (op : Packing.oct_pack) v =
+    Array.exists (fun (w : var) -> w.v_id = v.v_id) op.Packing.op_vars
+  in
+  let shares_oct =
+    match vars with
+    | [] | [ _ ] -> false
+    | vs ->
+        List.exists
+          (fun op -> List.length (List.filter (in_pack op) vs) >= 2)
+          (List.concat_map (oct_packs_of a) vs)
+  in
+  let clocked v =
+    match v.v_ty with
+    | F.Ctypes.Tscalar _ -> (
+        match Env.find st.Astate.env (var_cell a v) with
+        | Some (c : Avalue.t) ->
+            (not (D.Itv.is_bot c.D.Clocked.vminus))
+            || not (D.Itv.is_bot c.D.Clocked.vplus)
+        | None -> false)
+    | _ -> false
+  in
+  if shares_oct then "octagon"
+  else if List.exists (fun v -> ell_packs_of a v <> []) vars then "ellipsoid"
+  else if List.exists (fun v -> dt_packs_of a v <> []) vars then
+    "decision-tree"
+  else if List.exists clocked vars then "clocked"
+  else "interval"
+
+(* (expression, abstract value) pair for an alarm's operand list. *)
+let operand (e : expr) (i : D.Itv.t) : string * string =
+  (Fmt.str "%a" F.Pp.pp_expr e, Fmt.str "%a" D.Itv.pp i)
 
 (* Clamp an integer interval to a type range, alarming on overflow. *)
 let clamp_int a err loc (s : F.Ctypes.scalar) (i : D.Itv.t) : D.Itv.t =
@@ -253,7 +300,10 @@ let rec eval ?(var_hook : (var -> D.Itv.t option) option) (a : actx)
       | Sqrt -> (
           match ix with
           | D.Itv.Float (lo, _) when lo < 0.0 ->
-              report a err Alarm.Invalid_op loc "sqrt of possibly negative value";
+              report
+                ~domain:(value_domain a st binds x)
+                ~operands:[ operand x ix ] a err Alarm.Invalid_op loc
+                "sqrt of possibly negative value";
               D.Itv.sqrt_itv ix
           | _ -> D.Itv.sqrt_itv ix))
   | Ebinop (op, x, y) -> (
@@ -347,7 +397,10 @@ let rec eval ?(var_hook : (var -> D.Itv.t option) option) (a : actx)
           let ix = ev x and iy = ev y in
           let iy =
             if D.Itv.contains_zero iy then begin
-              report a err Alarm.Div_by_zero loc "divisor may be zero";
+              report
+                ~domain:(value_domain a st binds y)
+                ~operands:[ operand x ix; operand y iy ]
+                a err Alarm.Div_by_zero loc "divisor may be zero";
               D.Itv.exclude_zero iy
             end
             else iy
@@ -362,7 +415,10 @@ let rec eval ?(var_hook : (var -> D.Itv.t option) option) (a : actx)
           let ix = ev x and iy = ev y in
           let iy =
             if D.Itv.contains_zero iy then begin
-              report a err Alarm.Mod_by_zero loc "modulo by possibly zero";
+              report
+                ~domain:(value_domain a st binds y)
+                ~operands:[ operand x ix; operand y iy ]
+                a err Alarm.Mod_by_zero loc "modulo by possibly zero";
               D.Itv.exclude_zero iy
             end
             else iy
@@ -373,7 +429,10 @@ let rec eval ?(var_hook : (var -> D.Itv.t option) option) (a : actx)
           let range = D.Itv.int_range 0 31 in
           let iy =
             if not (D.Itv.subset iy range) then begin
-              report a err Alarm.Shift_range loc "shift amount out of [0,31]";
+              report
+                ~domain:(value_domain a st binds y)
+                ~operands:[ operand x ix; operand y iy ]
+                a err Alarm.Shift_range loc "shift amount out of [0,31]";
               D.Itv.meet iy range
             end
             else iy
@@ -525,7 +584,10 @@ and cells_of_lval (a : actx) (st : Astate.t) (binds : binds) (err : bool ref)
               let rng = D.Itv.int_range 0 (n - 1) in
               let ii =
                 if not (D.Itv.subset ii rng) then begin
-                  report a err Alarm.Out_of_bounds idx.eloc
+                  report
+                    ~domain:(value_domain a st binds idx)
+                    ~operands:[ operand idx ii ]
+                    a err Alarm.Out_of_bounds idx.eloc
                     (Fmt.str "index %a outside [0,%d]" D.Itv.pp ii (n - 1));
                   D.Itv.meet ii rng
                 end
@@ -547,7 +609,10 @@ and cells_of_lval (a : actx) (st : Astate.t) (binds : binds) (err : bool ref)
               let ii = eval a st binds err idx in
               let rng = D.Itv.int_range 0 (n - 1) in
               if not (D.Itv.subset ii rng) then
-                report a err Alarm.Out_of_bounds idx.eloc
+                report
+                  ~domain:(value_domain a st binds idx)
+                  ~operands:[ operand idx ii ]
+                  a err Alarm.Out_of_bounds idx.eloc
                   (Fmt.str "index %a outside [0,%d]" D.Itv.pp ii (n - 1));
               weak_multi := true;
               List.map (fun (v, p) -> (v, p @ [ Cell.Sall ])) bases

@@ -75,6 +75,15 @@ val eval :
   ?var_hook:(F.Tast.var -> D.Itv.t option) ->
   actx -> Astate.t -> binds -> bool ref -> F.Tast.expr -> D.Itv.t
 
+(** Raising-domain attribution for alarm provenance (ISSUE 5): the
+    abstract domain carrying the sharpest information about the
+    variables of [e] — "octagon" when two of them share an octagon
+    pack, "ellipsoid" / "decision-tree" when one is packed there,
+    "clocked" when a clocked component is informative, "interval"
+    otherwise.  Cold path (called when building an alarm). *)
+val value_domain :
+  actx -> Astate.t -> binds -> F.Tast.expr -> string
+
 (** {1 Statement-level transfer functions} *)
 
 (** guard#(E, c): refine the state under [cond = truth] (Sect. 5.4);

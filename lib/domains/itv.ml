@@ -100,6 +100,11 @@ let meet a b =
   | Float (x, y), Float (x', y') -> float_range (max x x') (min y y')
   | Int _, Float _ | Float _, Int _ -> invalid_arg "Itv.meet: kind mismatch"
 
+(* Counts unstable bounds caught by a finite threshold instead of
+   escaping to infinity — the signal that the threshold set is doing its
+   job (ISSUE 5; surfaced per loop head in the fixpoint trace). *)
+let threshold_hits = Astree_obs.Metrics.counter "widen.threshold_hits"
+
 (** Widening with thresholds (Sect. 7.1.2): an unstable bound jumps to the
     nearest enclosing threshold.  The threshold sets always contain
     -oo/+oo so the result is defined. *)
@@ -131,14 +136,25 @@ let widen ~(thresholds : float array) a b =
       let f = down_float (float_of_int v) in
       if f <= -4.0e18 then Sat.neg_inf else int_of_float (Float.floor f)
   in
+  let hit_int v =
+    if v <> Sat.neg_inf && v <> Sat.pos_inf then
+      Astree_obs.Metrics.incr threshold_hits;
+    v
+  in
+  let hit_float v =
+    if Float.is_finite v then Astree_obs.Metrics.incr threshold_hits;
+    v
+  in
   match (a, b) with
   | Bot, x | x, Bot -> x
   | Int (x, y), Int (x', y') ->
-      Int ((if x' < x then down_int x' else x), if y' > y then up_int y' else y)
+      Int
+        ((if x' < x then hit_int (down_int x') else x),
+         if y' > y then hit_int (up_int y') else y)
   | Float (x, y), Float (x', y') ->
       Float
-        ((if x' < x then down_float x' else x),
-         if y' > y then up_float y' else y)
+        ((if x' < x then hit_float (down_float x') else x),
+         if y' > y then hit_float (up_float y') else y)
   | Int _, Float _ | Float _, Int _ -> invalid_arg "Itv.widen: kind mismatch"
 
 (** Narrowing: refine infinite bounds only (standard interval narrowing,

@@ -1,18 +1,18 @@
-(* Lightweight analysis-wide profiling: per-domain cumulative timers and
-   operation counters, reported by the --profile CLI flag.
+(* Lightweight analysis-wide profiling probes, reported by the
+   --profile CLI flag.
 
-   Counters are always on (a single int increment, cheap enough for the
-   hottest paths, and the octagon regression tests rely on them); wall-
-   clock timers only run when [enabled] is set, so the default build pays
-   one ref read per probe site.
+   Since the observability PR this module is a thin compatibility layer
+   over the unified registry (Astree_obs.Metrics): each probe is a named
+   counter + timer pair there, so probe values ship inside parallel
+   worker deltas, merge deterministically at the coordinator, and appear
+   in --metrics / --format json output alongside everything else.
 
-   The module lives in the domains library because both the domains
-   (octagon close/join/widen) and the core (environment join, interval
-   transfer) need probes, and core depends on domains.
+   Counters are always on (a single record-field increment, cheap enough
+   for the hottest paths, and the octagon regression tests rely on
+   them); wall-clock timers only run when [enabled] is set, so the
+   default build pays one ref read per probe site. *)
 
-   With -j > 1 the report covers the coordinator process only: worker
-   processes inherit [enabled] over fork but their accumulators die with
-   them. *)
+module Metrics = Astree_obs.Metrics
 
 type probe = int
 
@@ -38,25 +38,40 @@ let names =
     "widening (all domains)";
   |]
 
-let enabled = ref false
-let counts = Array.make n_probes 0
-let timers = Array.make n_probes 0.0
+(* registry names: stable machine-readable ids for --metrics output *)
+let keys =
+  [|
+    "oct.close.full";
+    "oct.close.incr";
+    "oct.close.skip";
+    "oct.join";
+    "oct.widen";
+    "env.join";
+    "itv.transfer";
+    "widen.total";
+  |]
 
-let count (p : probe) = counts.(p) <- counts.(p) + 1
-let counter (p : probe) = counts.(p)
+let counters = Array.map Metrics.counter keys
+let timers = Array.map (fun k -> Metrics.timer (k ^ ".time")) keys
 
-let start () = if !enabled then Unix.gettimeofday () else 0.0
+let enabled = Metrics.timing
 
-let stop (p : probe) (t0 : float) =
-  if !enabled then timers.(p) <- timers.(p) +. (Unix.gettimeofday () -. t0)
+let count (p : probe) = Metrics.incr counters.(p)
+let counter (p : probe) = Metrics.value counters.(p)
+let start () = Metrics.start ()
+let stop (p : probe) (t0 : float) = Metrics.stop timers.(p) t0
 
 let reset () =
-  Array.fill counts 0 n_probes 0;
-  Array.fill timers 0 n_probes 0.0
+  Array.iter
+    (fun k ->
+      Metrics.reset_named k;
+      Metrics.reset_named (k ^ ".time"))
+    keys
 
 let report ppf =
-  Format.fprintf ppf "--- profile (cumulative, this process) ---@.";
+  Format.fprintf ppf "--- profile (cumulative, merged across workers) ---@.";
   for p = 0 to n_probes - 1 do
-    Format.fprintf ppf "%-42s %10d calls %12.6f s@." names.(p) counts.(p)
-      timers.(p)
+    Format.fprintf ppf "%-42s %10d calls %12.6f s@." names.(p)
+      (Metrics.value counters.(p))
+      (Metrics.timer_value timers.(p))
   done

@@ -1,8 +1,13 @@
 (** Per-domain cumulative timers and operation counters for the
     [--profile] CLI flag.
 
+    Probes are named entries in the unified registry
+    ([Astree_obs.Metrics]), so with [-j > 1] worker-side counts ship
+    back inside result deltas and the report covers the whole run, not
+    just the coordinator process.
+
     Counters are always on; timers only accumulate when [enabled] is
-    set.  With [-j > 1] the report covers the coordinator process only. *)
+    set ([enabled] is an alias of [Metrics.timing]). *)
 
 type probe
 

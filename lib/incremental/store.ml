@@ -17,7 +17,10 @@
 module C = Astree_core
 module Faultsim = Astree_robust.Faultsim
 
-let magic = "astree-summary-store v2\n"
+(* v3: Alarm.t gained the provenance field (ISSUE 5), changing the
+   Marshal layout of stored summaries — older stores must read as
+   foreign and degrade to cold, not crash. *)
+let magic = "astree-summary-store v3\n"
 
 type entries = (C.Iterator.summary_key * C.Iterator.summary) array
 

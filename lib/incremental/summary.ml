@@ -104,7 +104,15 @@ let attach (cfg : C.Config.t) (p : F.Tast.program) : session =
         List.iter
           (fun (k, s) -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k s)
           entries;
-        (List.length entries, Unix.gettimeofday () -. t0)
+        let dt = Unix.gettimeofday () -. t0 in
+        if !Astree_obs.Trace.enabled then
+          Astree_obs.Trace.emit "cache.load"
+            ~args:
+              [
+                ("entries", Astree_obs.Trace.I (List.length entries));
+                ("seconds", Astree_obs.Trace.F dt);
+              ];
+        (List.length entries, dt)
     | _ -> (0, 0.)
   in
   let memo =
@@ -148,7 +156,15 @@ let detach ?(save = true) (cfg : C.Config.t) (ss : session) :
         Store.save ~dir
           ~key:(Fingerprint.program ss.ss_fps)
           (Hashtbl.fold (fun k s acc -> (k, s) :: acc) ss.ss_tbl []);
-        Unix.gettimeofday () -. t0
+        let dt = Unix.gettimeofday () -. t0 in
+        if !Astree_obs.Trace.enabled then
+          Astree_obs.Trace.emit "cache.save"
+            ~args:
+              [
+                ("entries", Astree_obs.Trace.I (Hashtbl.length ss.ss_tbl));
+                ("seconds", Astree_obs.Trace.F dt);
+              ];
+        dt
     | _ -> 0.
   in
   {

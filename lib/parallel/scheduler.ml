@@ -21,6 +21,8 @@
 
 module C = Astree_core
 module F = Astree_frontend
+module Metrics = Astree_obs.Metrics
+module Trace = Astree_obs.Trace
 
 (** Default worker count: the machine's available cores. *)
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
@@ -73,6 +75,10 @@ let analyze ?(cfg = C.Config.default) (p : F.Tast.program) : C.Analysis.result
   else begin
     let actx = C.Transfer.make_actx cfg p in
     C.Transfer.prefill_cells actx;
+    (* drain buffered trace events to the sink before forking: workers
+       would otherwise inherit (and possibly re-write) the buffered
+       bytes.  Workers additionally detach the sink in [par_run_job]. *)
+    Trace.flush ();
     Pool.with_pool ~jobs
       (fun job -> C.Iterator.par_run_job actx job)
       (fun pool ->
@@ -114,21 +120,38 @@ let run_batch_job (bj : batch_job) : C.Analysis.result =
   | Bs_program p -> C.Analysis.analyze ~cfg p
   | Bs_sources srcs -> C.Analysis.analyze_sources ~cfg ~main:bj.bj_main srcs
 
+(* Worker-side wrapper for the batch axis: detach any inherited trace
+   sink and ship the job's registry delta back with the result, so
+   profile probes and iterator counters cover batch runs too. *)
+let run_batch_job_delta (bj : batch_job) :
+    C.Analysis.result * Metrics.snapshot =
+  Trace.in_worker ();
+  let m0 = Metrics.snapshot () in
+  let r = run_batch_job bj in
+  (r, Metrics.diff m0)
+
 (** Run a batch of whole-program analyses on [jobs] workers, results in
     job order.  Failed jobs are retried once, then recomputed
-    in-process. *)
+    in-process.  Worker registry deltas (metrics, profile probes) are
+    absorbed in item order, so batch reports merge deterministically. *)
 let analyze_batch ?(jobs = default_jobs ()) (items : batch_job list) :
     (string * C.Analysis.result) list =
   if jobs <= 1 || List.compare_length_with items 2 < 0 then
     List.map (fun bj -> (bj.bj_label, run_batch_job bj)) items
-  else
+  else begin
+    Trace.flush ();
     Pool.with_pool
       ~jobs:(min jobs (List.length items))
-      run_batch_job
+      run_batch_job_delta
       (fun pool ->
         let rs = map_retry pool ~timeout:!batch_job_timeout items in
         List.map2
           (fun bj r ->
             ( bj.bj_label,
-              match r with Some r -> r | None -> run_batch_job bj ))
+              match r with
+              | Some (r, delta) ->
+                  Metrics.absorb delta;
+                  r
+              | None -> run_batch_job bj ))
           items rs)
+  end

@@ -197,9 +197,23 @@ let analyze ?(cfg = C.Config.default) (p : F.Tast.program) :
               if level = 0 then r
               else mark r (degraded_record cfg p ~reason:!last_reason ~level)
           | exception Budget.Tripped Budget.Interrupted ->
+              if !Astree_obs.Trace.enabled then
+                Astree_obs.Trace.emit "budget.interrupt"
+                  ~args:[ ("level", Astree_obs.Trace.I level) ];
               interrupted_result acfg p
           | exception Budget.Tripped reason ->
               last_reason := reason;
+              if !Astree_obs.Trace.enabled then
+                Astree_obs.Trace.emit "degrade.trip"
+                  ~args:
+                    [
+                      ("reason", Astree_obs.Trace.S
+                                   (Budget.reason_to_string reason));
+                      ("level", Astree_obs.Trace.I level);
+                      ("next_level", Astree_obs.Trace.I (min (level + 1) max_level));
+                    ];
+              Astree_obs.Metrics.incr
+                (Astree_obs.Metrics.counter "degrade.trips");
               if reason = Budget.Memory then Gc.compact ();
               if level >= max_level then begin
                 (* even the interval-speed step blew the envelope: run it

@@ -24,6 +24,7 @@ let () =
       ("slicer", Test_slicer.suite);
       ("samples", Test_samples.suite);
       ("parallel", Test_parallel.suite);
+      ("observability", Test_obs.suite);
       ("incremental", Test_incremental.suite);
       ("soundness", Test_soundness.suite);
       ("robust", Test_robust.suite);

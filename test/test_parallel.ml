@@ -87,7 +87,7 @@ let test_pool_timeout () =
 let loc line = F.Loc.make ~file:"t.c" ~line ~col:1
 
 let al kind line msg : C.Alarm.t =
-  { C.Alarm.a_kind = kind; a_loc = loc line; a_msg = msg }
+  { C.Alarm.a_kind = kind; a_loc = loc line; a_msg = msg; a_prov = None }
 
 let test_merge_alarms () =
   let merged =
