@@ -4,11 +4,17 @@
 
    Exposes the end-user parameters of Sect. 7: domain selection, widening
    thresholds, unrolling factors, trace-partitioned functions, decision-
-   tree pack bounds, and the useful-octagon-pack reuse of Sect. 7.2.2. *)
+   tree pack bounds, and the useful-octagon-pack reuse of Sect. 7.2.2.
+
+   With --connect SOCK the analysis is delegated to a running astreed
+   daemon (warm typed-IR and summary caches); the reply carries the same
+   JSON report bytes this binary would print in-process, and when no
+   daemon listens the analysis silently runs in-process instead. *)
 
 module C = Astree_core
 module F = Astree_frontend
 module S = Astree_slicer
+module Srv = Astree_server
 open Cmdliner
 
 let read_file path =
@@ -17,120 +23,15 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* ------------------------------------------------------------------ *)
-(* JSON output (--format json)                                         *)
-(* ------------------------------------------------------------------ *)
-
-let json_escape (s : string) : string =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_str s = "\"" ^ json_escape s ^ "\""
-
-let json_alarm (a : C.Alarm.t) : string =
-  let prov =
-    match a.C.Alarm.a_prov with
-    | None -> ""
-    | Some p ->
-        Printf.sprintf
-          ", \"chain\": [%s], \"domain\": %s, \"operands\": {%s}"
-          (String.concat ", " (List.map json_str p.C.Alarm.p_chain))
-          (json_str p.C.Alarm.p_domain)
-          (String.concat ", "
-             (List.map
-                (fun (e, v) -> json_str e ^ ": " ^ json_str v)
-                p.C.Alarm.p_operands))
-  in
-  Printf.sprintf
-    "{\"kind\": %s, \"file\": %s, \"line\": %d, \"col\": %d, \"message\": %s%s}"
-    (json_str (C.Alarm.kind_to_string a.C.Alarm.a_kind))
-    (json_str a.C.Alarm.a_loc.F.Loc.file)
-    a.C.Alarm.a_loc.F.Loc.line a.C.Alarm.a_loc.F.Loc.col
-    (json_str a.C.Alarm.a_msg) prov
-
-let json_stats (s : C.Analysis.stats) : string =
-  let base =
-    Printf.sprintf
-      "\"globals_before\": %d, \"globals_after\": %d, \"cells\": %d, \
-       \"statements\": %d, \"octagon_packs\": %d, \"octagon_useful\": %d, \
-       \"ellipsoid_packs\": %d, \"decision_tree_packs\": %d, \"time\": %.6f"
-      s.C.Analysis.s_globals_before s.C.Analysis.s_globals_after
-      s.C.Analysis.s_cells s.C.Analysis.s_stmts s.C.Analysis.s_oct_packs
-      s.C.Analysis.s_oct_useful s.C.Analysis.s_ell_packs
-      s.C.Analysis.s_dt_packs s.C.Analysis.s_time
-  in
-  let cache =
-    match s.C.Analysis.s_cache with
-    | None -> ""
-    | Some c ->
-        Printf.sprintf
-          ", \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d, \
-           \"loaded\": %d, \"load_time\": %.6f, \"save_time\": %.6f}"
-          c.C.Analysis.c_hits c.C.Analysis.c_misses c.C.Analysis.c_entries
-          c.C.Analysis.c_loaded c.C.Analysis.c_load_time
-          c.C.Analysis.c_save_time
-  in
-  "{" ^ base ^ cache ^ "}"
-
-let json_degraded (d : C.Analysis.degraded) : string =
-  Printf.sprintf
-    "{\"reason\": %s, \"level\": %d, \"shed_octagon_packs\": %d, \
-     \"shed_ellipsoid_packs\": %d, \"shed_decision_tree_packs\": %d, \
-     \"partitioning_disabled\": %b, \"widening_accelerated\": %b}"
-    (json_str d.C.Analysis.dg_reason)
-    d.C.Analysis.dg_level d.C.Analysis.dg_shed_oct_packs
-    d.C.Analysis.dg_shed_ell_packs d.C.Analysis.dg_shed_dt_packs
-    d.C.Analysis.dg_partitioning_disabled d.C.Analysis.dg_widening_accelerated
-
-(** The whole result as one JSON object: alarms (with provenance when
-    recorded), statistics (cache counters always included when a cache
-    ran — unlike the text report they are not a [--verbose] detail),
-    the useful-octagon-pack ids, the deterministic result fingerprint
-    ([Merge.fingerprint], the digest the equivalence tests compare),
-    for degraded or interrupted runs a "degraded" block, and — only
-    when [--metrics] is active — the full metrics registry. *)
-let print_json ?(metrics = false) (r : C.Analysis.result) : unit =
-  let degraded =
-    match r.C.Analysis.r_stats.C.Analysis.s_degraded with
-    | None -> ""
-    | Some d -> Printf.sprintf ", \"degraded\": %s" (json_degraded d)
-  in
-  let metrics_block =
-    (* opt-in: the registry holds volatile counters (timings, per-run
-       cache traffic), and the default JSON must stay byte-comparable
-       across equivalent runs (warm vs. cold cache, -j1 vs. -j4) *)
-    if metrics then
-      Printf.sprintf ", \"metrics\": %s"
-        (Astree_obs.Metrics.render_json ~timers:false ())
-    else ""
-  in
-  print_string
-    (Printf.sprintf
-       "{\"alarms\": [%s], \"stats\": %s, \"octagon_useful_ids\": [%s], \
-        \"fingerprint\": %s%s%s}\n"
-       (String.concat ", " (List.map json_alarm r.C.Analysis.r_alarms))
-       (json_stats r.C.Analysis.r_stats)
-       (String.concat ", "
-          (List.map string_of_int (C.Analysis.useful_octagon_packs r)))
-       (json_str (Astree_parallel.Merge.fingerprint r))
-       degraded metrics_block)
+(* JSON rendering is shared with the daemon workers (Astree_server.Report)
+   so client-mode and in-process output are byte-identical *)
+let print_json ?metrics (r : C.Analysis.result) : unit =
+  print_string (Srv.Report.render ?metrics r ^ "\n")
 
 let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
     partitioned max_dt_bools useful_packs jobs cache_dir cache_mem no_cache
-    timeout max_mem format dump_invariants dump_census slice_alarms profile
-    trace_file metrics_file explain verbose =
+    timeout max_mem connect format dump_invariants dump_census slice_alarms
+    profile trace_file metrics_file explain verbose =
   if files = [] then `Error (false, "no input files")
   else
     try
@@ -151,123 +52,140 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
         if jobs = 0 then Astree_parallel.Scheduler.default_jobs ()
         else max 1 jobs
       in
-      if jobs > 1 then Astree_parallel.Scheduler.register ();
-      let summary_cache =
-        if no_cache then C.Config.Cache_off
-        else
-          match cache_dir with
-          | Some dir -> C.Config.Cache_dir dir
-          | None ->
-              if cache_mem then C.Config.Cache_mem else C.Config.Cache_off
-      in
-      if summary_cache <> C.Config.Cache_off then
-        Astree_incremental.Summary.register ();
-      let cfg =
+      let options =
         {
-          C.Config.default with
-          C.Config.jobs;
-          summary_cache;
-          timeout = (if timeout > 0. then timeout else 0.);
-          max_mem_mb = max 0 max_mem;
-          use_octagons = not no_oct;
-          use_ellipsoids = not no_ell;
-          use_decision_trees = not no_dt;
-          use_clocked = not no_clock;
-          use_linearization = not no_lin;
-          widening_thresholds =
-            (if no_thresholds then Astree_domains.Thresholds.none
-             else Astree_domains.Thresholds.default);
-          loop_unroll = unroll;
-          partitioned_functions = partitioned;
-          max_dtree_bools = max_dt_bools;
-          useful_packs_only =
-            (match useful_packs with
-            | [] -> None
-            | ids -> Some ("cli", ids));
+          Srv.Service.o_no_oct = no_oct;
+          o_no_ell = no_ell;
+          o_no_dt = no_dt;
+          o_no_clock = no_clock;
+          o_no_lin = no_lin;
+          o_no_thresholds = no_thresholds;
+          o_unroll = unroll;
+          o_partition = partitioned;
+          o_max_dtree_bools = max_dt_bools;
+          o_useful_packs = useful_packs;
+          o_jobs = jobs;
+          o_timeout = (if timeout > 0. then timeout else 0.);
+          o_max_mem = max 0 max_mem;
+          o_cache =
+            (if no_cache then `Off
+             else
+               match cache_dir with
+               | Some dir -> `Dir dir
+               | None -> if cache_mem then `Mem else `Default);
         }
       in
       let sources = List.map (fun f -> (f, read_file f)) files in
-      (* honor "/* astree-partition: f g ... */" markers unless the user
-         supplied an explicit partition list; a file may carry several
-         markers, with arbitrary whitespace after the colon *)
-      let cfg =
-        if partitioned <> [] then cfg
-        else
-          let marked =
-            List.concat_map
-              (fun (_, src) -> F.Preproc.partition_markers src)
-              sources
-            |> List.sort_uniq String.compare
-          in
-          if marked = [] then cfg
-          else { cfg with C.Config.partitioned_functions = marked }
+      let in_process () =
+        if jobs > 1 then Astree_parallel.Scheduler.register ();
+        let cfg = Srv.Service.config_of options ~sources in
+        if C.Config.cache_enabled cfg then Astree_incremental.Summary.register ();
+        let p, _stats = C.Analysis.compile ~main sources in
+        let r = Astree_robust.Degrade.analyze ~cfg p in
+        (match metrics_file with
+        | None -> ()
+        | Some f ->
+            let oc = open_out f in
+            output_string oc (Astree_obs.Metrics.render_json ());
+            output_char oc '\n';
+            close_out oc);
+        (match format with
+        | `Json -> print_json ~metrics:(metrics_file <> None) r
+        | `Text ->
+            (* cache counters are a --verbose detail of the text report:
+               default output stays byte-identical to the cache-less
+               analyzer (JSON always carries them) *)
+            let r = if verbose then r else Srv.Report.strip_cache r in
+            Fmt.pr "%a@." C.Analysis.pp_result r;
+            if explain && r.C.Analysis.r_alarms <> [] then begin
+              Fmt.pr "--- alarm provenance ---@.";
+              List.iter
+                (fun (al : C.Alarm.t) ->
+                  Fmt.pr "%a@." C.Alarm.pp_explain al)
+                r.C.Analysis.r_alarms
+            end;
+            if verbose then
+              Fmt.pr "useful octagon packs: %a@."
+                Fmt.(list ~sep:comma int)
+                (C.Analysis.useful_octagon_packs r));
+        if dump_census then begin
+          match C.Invariant_census.main_loop_census r with
+          | Some c ->
+              Fmt.pr "--- main loop invariant census (Sect. 9.4.1) ---@.%a@."
+                C.Invariant_census.pp c
+          | None -> Fmt.pr "no loop invariant recorded@."
+        end;
+        if dump_invariants then
+          print_string (C.Invariant_dump.to_string r);
+        (* per-domain cumulative timings and counters, on stderr so the
+           regular (text or JSON) output stays byte-identical *)
+        if profile then Astree_domains.Profile.report Format.err_formatter;
+        if slice_alarms && r.C.Analysis.r_alarms <> [] then begin
+          let g = S.Depgraph.build p in
+          List.iter
+            (fun (al : C.Alarm.t) ->
+              Fmt.pr "--- slice for %a ---@." C.Alarm.pp al;
+              let sl =
+                S.Slicer.slice g
+                  { S.Slicer.c_loc = al.C.Alarm.a_loc; c_vars = None }
+              in
+              Fmt.pr "%a@." S.Slicer.pp_slice sl)
+            r.C.Analysis.r_alarms
+        end;
+        Astree_obs.Trace.close ();
+        `Ok (Srv.Report.exit_code r)
       in
-      let p, _stats = C.Analysis.compile ~main sources in
-      let r = Astree_robust.Degrade.analyze ~cfg p in
-      (match metrics_file with
-      | None -> ()
-      | Some f ->
-          let oc = open_out f in
-          output_string oc (Astree_obs.Metrics.render_json ());
-          output_char oc '\n';
-          close_out oc);
-      (match format with
-      | `Json -> print_json ~metrics:(metrics_file <> None) r
-      | `Text ->
-          (* cache counters are a --verbose detail of the text report:
-             default output stays byte-identical to the cache-less
-             analyzer (JSON always carries them) *)
-          let r =
-            if verbose then r
-            else
-              {
-                r with
-                C.Analysis.r_stats =
-                  { r.C.Analysis.r_stats with C.Analysis.s_cache = None };
-              }
-          in
-          Fmt.pr "%a@." C.Analysis.pp_result r;
-          if explain && r.C.Analysis.r_alarms <> [] then begin
-            Fmt.pr "--- alarm provenance ---@.";
-            List.iter
-              (fun (al : C.Alarm.t) ->
-                Fmt.pr "%a@." C.Alarm.pp_explain al)
-              r.C.Analysis.r_alarms
-          end;
-          if verbose then
-            Fmt.pr "useful octagon packs: %a@."
-              Fmt.(list ~sep:comma int)
-              (C.Analysis.useful_octagon_packs r));
-      if dump_census then begin
-        match C.Invariant_census.main_loop_census r with
-        | Some c ->
-            Fmt.pr "--- main loop invariant census (Sect. 9.4.1) ---@.%a@."
-              C.Invariant_census.pp c
-        | None -> Fmt.pr "no loop invariant recorded@."
-      end;
-      if dump_invariants then
-        print_string (C.Invariant_dump.to_string r);
-      (* per-domain cumulative timings and counters, on stderr so the
-         regular (text or JSON) output stays byte-identical *)
-      if profile then Astree_domains.Profile.report Format.err_formatter;
-      if slice_alarms && r.C.Analysis.r_alarms <> [] then begin
-        let g = S.Depgraph.build p in
-        List.iter
-          (fun (al : C.Alarm.t) ->
-            Fmt.pr "--- slice for %a ---@." C.Alarm.pp al;
-            let sl =
-              S.Slicer.slice g { S.Slicer.c_loc = al.C.Alarm.a_loc; c_vars = None }
-            in
-            Fmt.pr "%a@." S.Slicer.pp_slice sl)
-          r.C.Analysis.r_alarms
-      end;
-      Astree_obs.Trace.close ();
-      (* exit codes: 0 clean, 1 alarms, 3 degraded-but-complete,
-         130 interrupted (the usual 128+SIGINT convention) *)
-      (match r.C.Analysis.r_stats.C.Analysis.s_degraded with
-      | Some d when d.C.Analysis.dg_reason = "interrupted" -> `Ok 130
-      | Some _ -> `Ok 3
-      | None -> if C.Analysis.n_alarms r = 0 then `Ok 0 else `Ok 1)
+      let local_only =
+        dump_invariants || dump_census || slice_alarms || profile
+        || trace_file <> None || metrics_file <> None
+      in
+      (match connect with
+      | Some sock when format = `Json && not local_only -> (
+          match Srv.Client.try_connect sock with
+          | None ->
+              (* byte-identical output either way: only the transport
+                 differs, so the fallback is silent apart from stderr *)
+              prerr_endline
+                ("astree: no daemon listening on " ^ sock
+               ^ ", analyzing in-process");
+              in_process ()
+          | Some fd ->
+              Fun.protect
+                ~finally:(fun () -> Srv.Client.close fd)
+                (fun () ->
+                  let req =
+                    Srv.Client.analyze_request ~sources ~main ~options ()
+                  in
+                  match Srv.Client.roundtrip fd req with
+                  | Error msg -> `Error (false, "daemon: " ^ msg)
+                  | Ok line -> (
+                      let rep = Srv.Client.decode line in
+                      match (rep.Srv.Client.r_status, rep.Srv.Client.r_report)
+                      with
+                      | "ok", Some report ->
+                          print_string (report ^ "\n");
+                          `Ok rep.Srv.Client.r_exit
+                      | "ok", None ->
+                          `Error (false, "daemon: malformed reply")
+                      | ("shed" | "shutting_down"), _ ->
+                          prerr_endline
+                            ("astree: daemon refused the request ("
+                            ^ rep.Srv.Client.r_status ^ ")");
+                          `Ok 4
+                      | _ ->
+                          `Error
+                            ( false,
+                              "daemon: "
+                              ^ Option.value ~default:"unknown error"
+                                  rep.Srv.Client.r_error ))))
+      | Some _ ->
+          (* text output and the report extras need the result value in
+             this process *)
+          prerr_endline
+            "astree: --connect only serves --format json without report \
+             extras; analyzing in-process";
+          in_process ()
+      | None -> in_process ())
     with e -> (
       (* flush whatever the trace ring holds — a trace that stops at the
          failing phase is exactly what one wants for a post-mortem *)
@@ -313,6 +231,7 @@ let cmd =
         $ flag "no-cache" "Disable the summary cache, overriding $(b,--cache) and $(b,--cache-mem)"
         $ Arg.(value & opt float 0. & info [ "timeout" ] ~docv:"SECS" ~doc:"Wall-clock budget for the analysis; on overrun, precision is shed soundly (degraded exit code 3) instead of aborting (0 = unbounded)")
         $ Arg.(value & opt int 0 & info [ "max-mem" ] ~docv:"MB" ~doc:"Major-heap watermark in MiB, with the same sound degradation as $(b,--timeout) (0 = unbounded)")
+        $ Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"SOCK" ~doc:"Delegate the analysis to the astreed daemon listening on $(docv) (warm caches, exit code 4 if it sheds the request); silently analyze in-process when no daemon is there")
         $ Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json) (one object with alarms, stats and the result fingerprint)")
         $ flag "dump-invariants" "Print loop invariants"
         $ flag "census" "Print the main-loop invariant census (Sect. 9.4.1)"

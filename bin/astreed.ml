@@ -1,0 +1,90 @@
+(* The analysis daemon's command line.
+
+   Usage:  astreed --socket PATH [--max-inflight N] [--queue-depth N]
+                   [--timeout SECS] [--max-mem MB] [--cache DIR]
+                   [--trace FILE] [--verbose]
+
+   Serves newline-delimited JSON requests (analyze / status / metrics /
+   shutdown) over a Unix-domain socket, keeping the typed-IR and
+   function-summary caches resident across requests.  See DESIGN.md
+   section 12 for the protocol and README "Server mode" for examples. *)
+
+module Srv = Astree_server
+open Cmdliner
+
+let run socket workers queue_depth timeout max_mem cache_dir trace_file
+    verbose =
+  (match trace_file with
+  | None -> ()
+  | Some f ->
+      Astree_obs.Trace.enabled := true;
+      Astree_obs.Trace.set_sink (open_out f));
+  let code =
+    Srv.Daemon.run
+      {
+        Srv.Daemon.d_socket = socket;
+        d_workers = max 1 workers;
+        d_queue_depth = max 0 queue_depth;
+        d_timeout = (if timeout > 0. then timeout else 0.);
+        d_max_mem = max 0 max_mem;
+        d_cache_dir = cache_dir;
+        d_max_programs = Srv.Daemon.default.Srv.Daemon.d_max_programs;
+        d_grace = Srv.Daemon.default.Srv.Daemon.d_grace;
+        d_verbose = verbose;
+      }
+  in
+  Astree_obs.Trace.close ();
+  code
+
+let cmd =
+  let doc = "long-lived analysis server for astree" in
+  Cmd.v
+    (Cmd.info "astreed" ~doc)
+    Term.(
+      const run
+      $ Arg.(
+          value
+          & opt string Srv.Daemon.default.Srv.Daemon.d_socket
+          & info [ "socket" ] ~docv:"PATH"
+              ~doc:"Unix-domain socket to listen on")
+      $ Arg.(
+          value & opt int Srv.Daemon.default.Srv.Daemon.d_workers
+          & info [ "max-inflight" ]
+              ~doc:
+                "Worker processes, hence concurrently analyzed requests")
+      $ Arg.(
+          value
+          & opt int Srv.Daemon.default.Srv.Daemon.d_queue_depth
+          & info [ "queue-depth" ]
+              ~doc:
+                "Requests admitted beyond the in-flight limit; further \
+                 ones are shed with a $(b,shed) reply (0 = no queue)")
+      $ Arg.(
+          value & opt float 0.
+          & info [ "timeout" ] ~docv:"SECS"
+              ~doc:
+                "Default per-request wall-clock budget, applied when a \
+                 request brings none (0 = unbounded)")
+      $ Arg.(
+          value & opt int 0
+          & info [ "max-mem" ] ~docv:"MB"
+              ~doc:
+                "Default per-request major-heap watermark in MiB (0 = \
+                 unbounded)")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "cache" ] ~docv:"DIR"
+              ~doc:
+                "Persist the resident summary store in $(docv) at \
+                 shutdown and reuse it across daemon restarts")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"FILE"
+              ~doc:
+                "Write a structured event trace (requests plus \
+                 re-emitted worker events) to $(docv)")
+      $ Arg.(value & flag & info [ "verbose" ] ~doc:"Log requests on stderr"))
+
+let () = exit (Cmd.eval' cmd)

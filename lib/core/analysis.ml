@@ -73,32 +73,31 @@ let useful_octagon_packs (r : result) : int list =
 (** Installed by [Astree_parallel.Scheduler.register]: analyses with
     [Config.jobs > 1] are routed through the parallel subsystem.  A hook
     rather than a direct call so the core library does not depend on the
-    process-pool machinery. *)
-let parallel_driver : (Config.t -> F.Tast.program -> result) option ref =
+    process-pool machinery.  The driver receives the run's session and
+    must build its context with it. *)
+let parallel_driver :
+    (Transfer.session -> Config.t -> F.Tast.program -> result) option ref =
   ref None
 
 (** Installed by [Astree_incremental.Summary.register]: when
     [Config.cache_enabled cfg], the driver fingerprints the program,
-    attaches the summary table (loading the on-disk store if
-    configured), runs the wrapped analysis and fills [s_cache].  Same
+    attaches the summary table to the session (loading the on-disk store
+    if configured), runs the wrapped analysis and fills [s_cache].  Same
     hook pattern as [parallel_driver], and composable with it: the
     cache driver wraps whichever execution path the inner thunk picks. *)
 let cache_driver :
-    (Config.t -> F.Tast.program -> (unit -> result) -> result) option ref =
+    (Transfer.session -> Config.t -> F.Tast.program -> (unit -> result) ->
+    result)
+    option
+    ref =
   ref None
-
-(** The context of the analysis currently running in this process, set
-    by [analyze_prepared] before entering the iterator.  The robust
-    subsystem reads it to assemble a partial result (alarms found so
-    far) when the run is interrupted by SIGINT/SIGTERM. *)
-let live_actx : Transfer.actx option ref = ref None
 
 (** Analyze a typed program against an already-prepared context (the
     parallel scheduler builds and pre-fills the context before forking
     its workers, then runs the iterator through this entry point). *)
 let analyze_prepared (actx : Transfer.actx) (p : F.Tast.program) : result =
   let t0 = Unix.gettimeofday () in
-  live_actx := Some actx;
+  actx.Transfer.session.Transfer.ses_live <- Some actx;
   let final = in_span "phase.iterate" (fun () -> Iterator.run actx) in
   let t1 = Unix.gettimeofday () in
   let alarms = Alarm.to_list actx.Transfer.alarms in
@@ -140,19 +139,28 @@ let analyze_prepared (actx : Transfer.actx) (p : F.Tast.program) : result =
     the summary-cache driver when caching is enabled.  With the cache
     on, cells are pre-filled in program order even sequentially, so the
     cell numbering (which summary keys depend on) is identical across
-    sequential, parallel, cold and warm runs. *)
-let analyze ?(cfg = Config.default) (p : F.Tast.program) : result =
+    sequential, parallel, cold and warm runs.  [?session] threads an
+    existing session through (the daemon passes one per request); a
+    fresh one is created otherwise, so concurrent analyses never share
+    hooks. *)
+let analyze ?session ?(cfg = Config.default) (p : F.Tast.program) : result =
+  let session =
+    match session with Some s -> s | None -> Transfer.new_session ()
+  in
   let core () =
     match !parallel_driver with
-    | Some driver when cfg.Config.jobs > 1 -> driver cfg p
+    | Some driver when cfg.Config.jobs > 1 -> driver session cfg p
     | _ ->
-        let actx = Transfer.make_actx cfg p in
-        if Config.cache_enabled cfg then Transfer.prefill_cells actx;
+        let actx = Transfer.make_actx ~session cfg p in
+        if Config.cache_enabled cfg || Option.is_some session.Transfer.ses_memo
+        then
+          Transfer.prefill_cells actx;
         analyze_prepared actx p
   in
   in_span "phase.analyze" (fun () ->
       match !cache_driver with
-      | Some driver when Config.cache_enabled cfg -> driver cfg p core
+      | Some driver when Config.cache_enabled cfg ->
+          driver session cfg p core
       | _ -> core ())
 
 (** Frontend pipeline: preprocess, parse, link, type-check, simplify. *)

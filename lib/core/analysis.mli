@@ -53,30 +53,40 @@ val useful_octagon_packs : result -> int list
 
 (** Analyze an already-compiled program.  When [cfg.jobs > 1] and the
     parallel subsystem has registered itself, the analysis is dispatched
-    to its process pool (results are identical to the sequential run). *)
-val analyze : ?cfg:Config.t -> Astree_frontend.Tast.program -> result
+    to its process pool (results are identical to the sequential run).
+    [?session] threads an existing {!Transfer.session} through (the
+    analysis server passes one per request); a fresh session is created
+    otherwise, so concurrent analyses in one process never share
+    hooks. *)
+val analyze :
+  ?session:Transfer.session ->
+  ?cfg:Config.t ->
+  Astree_frontend.Tast.program ->
+  result
 
 (** Analyze against an already-prepared context (used by the parallel
     scheduler, which pre-fills the context before forking workers). *)
 val analyze_prepared : Transfer.actx -> Astree_frontend.Tast.program -> result
 
 (** Parallel-analysis driver hook, installed by
-    [Astree_parallel.Scheduler.register]. *)
+    [Astree_parallel.Scheduler.register].  Receives the run's session
+    and must build its context with it. *)
 val parallel_driver :
-  (Config.t -> Astree_frontend.Tast.program -> result) option ref
+  (Transfer.session -> Config.t -> Astree_frontend.Tast.program -> result)
+  option
+  ref
 
 (** Summary-cache driver hook, installed by
     [Astree_incremental.Summary.register].  Wraps the analysis thunk
     when [Config.cache_enabled]; composes with [parallel_driver]. *)
 val cache_driver :
-  (Config.t -> Astree_frontend.Tast.program -> (unit -> result) -> result)
+  (Transfer.session ->
+  Config.t ->
+  Astree_frontend.Tast.program ->
+  (unit -> result) ->
+  result)
   option
   ref
-
-(** Context of the analysis currently running in this process, set by
-    [analyze_prepared]; read by the robust subsystem to assemble a
-    partial result on interrupt. *)
-val live_actx : Transfer.actx option ref
 
 (** Frontend pipeline: preprocess, parse, link, type-check, simplify.
     Sources are (filename, contents) pairs. *)

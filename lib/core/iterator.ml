@@ -35,8 +35,9 @@ let c_threshold_hits = Metrics.counter "widen.threshold_hits"
 
 (** Flow-separated analysis outcome of a statement or block.  [o_norm]
     is a disjunction of abstract states (a singleton except under trace
-    partitioning). *)
-type outcome = {
+    partitioning).  Defined in [Transfer] (with the other session data
+    types) and re-exported here, its historical home. *)
+type outcome = Transfer.outcome = {
   o_norm : Astate.t list;
   o_brk : Astate.t;
   o_cont : Astate.t;
@@ -87,9 +88,9 @@ let cap_partitions (a : Transfer.actx) (sts : Astate.t list) : Astate.t list =
    joins the sequential iterator performs, in the same order, so the
    parallel result is identical by construction.
 
-   The iterator stays process-agnostic: when [par_hook] is installed
-   (by Astree_parallel.Scheduler in the parent process) eligible
-   disjunct maps are handed to it as self-contained jobs; a [None]
+   The iterator stays process-agnostic: when the session's par hook is
+   installed (by Astree_parallel.Scheduler in the parent process)
+   eligible disjunct maps are handed to it as self-contained jobs; a [None]
    reply means the job was lost (crashed or timed-out worker, already
    retried) and the iterator recomputes it in-process, so parallel
    analysis can neither hang nor lose soundness. *)
@@ -101,8 +102,8 @@ let cap_partitions (a : Transfer.actx) (sts : Astate.t list) : Astate.t list =
 (* Context-sensitive polyvariant inlining (Sect. 5.4) re-analyzes a
    callee for every call context; the summary cache pays for each
    distinct (callee, abstract entry state) pair once.  The iterator
-   stays storage-agnostic: the incremental subsystem installs
-   [call_memo], whose key function folds the callee's content
+   stays storage-agnostic: the incremental subsystem installs the
+   session's memo, whose key function folds the callee's content
    fingerprint (structure, types, transitive callee hashes, config)
    with a digest of the exact abstract entry state — no entailment
    shortcut, so a hit is equivalent to re-analysis by construction. *)
@@ -111,7 +112,7 @@ let cap_partitions (a : Transfer.actx) (sts : Astate.t list) : Astate.t list =
     point, the merged return value, and the side effects on the
     context's bookkeeping.  Pure data — marshalled into parallel deltas
     and into the on-disk store. *)
-type summary = {
+type summary = Transfer.summary = {
   sm_exit : Astate.t;  (** state after the return-point trace merge *)
   sm_retv : D.Itv.t;   (** return value (Bot for void / no return) *)
   sm_delta : Transfer.capture_delta;
@@ -121,13 +122,13 @@ type summary = {
     configuration), digest of the abstract entry state together with
     the by-reference parameter bindings, and the alarm-collector mode —
     iteration-mode and checking-mode results are never conflated. *)
-type summary_key = {
+type summary_key = Transfer.summary_key = {
   sk_fn : string;
   sk_entry : string;
   sk_checking : bool;
 }
 
-type call_memo = {
+type call_memo = Transfer.call_memo = {
   cm_key :
     fname:string -> checking:bool -> Astate.t -> Transfer.binds ->
     summary_key option;
@@ -146,8 +147,6 @@ type call_memo = {
           against {!memo_min_stmts} *)
 }
 
-let call_memo : call_memo option ref = ref None
-
 (** Minimal transitive inlined statement count of a callee before
     memoization is worth the entry-state digest.  Digesting the exact
     abstract entry state costs a fraction of a millisecond per kLOC of
@@ -157,11 +156,11 @@ let call_memo : call_memo option ref = ref None
 let memo_min_stmts = ref 30
 
 (** A unit of work shipped to a worker: pure data, marshalled. *)
-type par_work =
+type par_work = Transfer.par_work =
   | Pw_block of block  (** execute a block (a conditional branch) *)
   | Pw_call of { dst : var option; fname : string; args : arg list }
 
-type par_job = {
+type par_job = Transfer.par_job = {
   pj_work : par_work;
   pj_binds : Transfer.binds;
   pj_stack : string list;
@@ -172,7 +171,7 @@ type par_job = {
 
 (** Side effects of a job on the analysis context, replayed by the
     parent in job order so that merged results are deterministic. *)
-type par_delta = {
+type par_delta = Transfer.par_delta = {
   pd_alarms : Alarm.t list;
   pd_invariants : (int * Astate.t) list;  (** loop id -> head invariant *)
   pd_joins : int;
@@ -191,9 +190,10 @@ type par_delta = {
           parent in job order *)
 }
 
-type par_reply = { pr_out : outcome; pr_delta : par_delta }
-
-let par_hook : (par_job list -> par_reply option list) option ref = ref None
+type par_reply = Transfer.par_reply = {
+  pr_out : outcome;
+  pr_delta : par_delta;
+}
 
 (** Minimal statement count of a block before it is worth shipping to a
     worker (marshalling an abstract state is not free). *)
@@ -240,7 +240,7 @@ let apply_delta (a : Transfer.actx) (d : par_delta) : unit =
      to later jobs; [cm_add] keeps the first entry per key, and the same
      key always maps to an identical summary, so replay order cannot
      change results *)
-  match !call_memo with
+  match a.Transfer.session.Transfer.ses_memo with
   | None -> ()
   | Some m ->
       List.iter (fun (k, s) -> m.cm_add k s) d.pd_summaries;
@@ -265,16 +265,15 @@ let mk_job (a : Transfer.actx) ~(binds : Transfer.binds)
 
 (* The resource governor (Astree_robust.Budget) needs a periodic check
    point inside the fixpoint engine without the core depending on it, so
-   — like [par_hook] and [call_memo] — it installs a hook.  The hook is
-   only consulted every 256 abstract statements: the common path is one
-   increment, one land and one branch. *)
+   — like the parallel and memo hooks — it installs a session hook.  The
+   hook is only consulted every 256 abstract statements: the common path
+   is one increment, one land and one branch. *)
 
-let tick_hook : (unit -> unit) ref = ref (fun () -> ())
-let tick_count = ref 0
-
-let tick () =
-  incr tick_count;
-  if !tick_count land 0xFF = 0 then !tick_hook ()
+let tick (a : Transfer.actx) =
+  let s = a.Transfer.session in
+  s.Transfer.ses_ticks <- s.Transfer.ses_ticks + 1;
+  if s.Transfer.ses_ticks land 0xFF = 0 then
+    match s.Transfer.ses_tick_hook with None -> () | Some h -> h ()
 
 (* ------------------------------------------------------------------ *)
 (* Statements                                                           *)
@@ -293,7 +292,7 @@ let widen_state ~thresholds (inv : Astate.t) (next : Astate.t) : Astate.t =
 
 let rec exec_stmt (a : Transfer.actx) ~(part : bool) ~(stack : string list)
     (binds : Transfer.binds) (sts : Astate.t list) (s : stmt) : outcome =
-  tick ();
+  tick a;
   (* keep the collector's inlining context in sync with the iterator's
      stack, so every alarm reported below picks up its call chain (one
      field write; the lists are shared, not copied) *)
@@ -360,7 +359,7 @@ let rec exec_stmt (a : Transfer.actx) ~(part : bool) ~(stack : string list)
             (ot, of_)
           in
           let pairs =
-            match !par_hook with
+            match a.Transfer.session.Transfer.ses_par_hook with
             | Some dispatch
               when par_block_size tb >= !par_min_stmts
                    && par_block_size fb >= !par_min_stmts ->
@@ -682,7 +681,7 @@ and exec_call (a : Transfer.actx) ~(stack : string list)
       (* trace-partition disjuncts flowing into a call are analyzed
          through the callee independently: the prime intra-program
          parallel axis (each worker runs one disjunct) *)
-      (match !par_hook with
+      (match a.Transfer.session.Transfer.ses_par_hook with
       | Some dispatch
         when List.compare_length_with sts 2 >= 0
              && par_block_size fd.fd_body >= !par_min_stmts ->
@@ -799,7 +798,7 @@ and exec_call_body (a : Transfer.actx) ~(stack : string list)
     in
     (exit_env, retv)
   in
-  match !call_memo with
+  match a.Transfer.session.Transfer.ses_memo with
   | Some m when m.cm_want fname -> (
       match
         m.cm_key ~fname ~checking:a.Transfer.alarms.Alarm.enabled st
@@ -868,7 +867,8 @@ let run (a : Transfer.actx) : Astate.t =
     replays deltas in job order, which reproduces the sequential
     bookkeeping exactly. *)
 let par_run_job (a : Transfer.actx) (job : par_job) : par_reply =
-  par_hook := None (* workers are strictly sequential: no re-dispatch *);
+  (* workers are strictly sequential: no re-dispatch from a forked copy *)
+  a.Transfer.session.Transfer.ses_par_hook <- None;
   (* the coordinator owns the trace file: detach the sink inherited over
      fork (without flushing — the parent already flushed before forking)
      and capture this job's events to ship them back in the delta *)
@@ -881,7 +881,7 @@ let par_run_job (a : Transfer.actx) (job : par_job) : par_reply =
   Hashtbl.reset a.Transfer.oct_useful;
   let joins0 = a.Transfer.join_count in
   let hits0, misses0 =
-    match !call_memo with
+    match a.Transfer.session.Transfer.ses_memo with
     | Some m ->
         m.cm_fresh := [];
         (!(m.cm_hits), !(m.cm_misses))
@@ -912,7 +912,7 @@ let par_run_job (a : Transfer.actx) (job : par_job) : par_reply =
     |> List.sort Int.compare
   in
   let summaries, hits, misses =
-    match !call_memo with
+    match a.Transfer.session.Transfer.ses_memo with
     | Some m ->
         ( List.rev !(m.cm_fresh),
           !(m.cm_hits) - hits0,

@@ -9,8 +9,10 @@ exception Analysis_error of string
 
 (** Flow-separated analysis outcome of a statement or block; [o_norm]
     is a disjunction of abstract states (a singleton except under trace
-    partitioning, Sect. 7.1.5). *)
-type outcome = {
+    partitioning, Sect. 7.1.5).  The session data types below are
+    defined in [Transfer] (they are carried by {!Transfer.session}) and
+    re-exported here, their historical home. *)
+type outcome = Transfer.outcome = {
   o_norm : Astate.t list;
   o_brk : Astate.t;
   o_cont : Astate.t;
@@ -26,8 +28,9 @@ type outcome = {
     state and merged by the very joins the sequential iterator performs
     — so [-j n] results are identical to [-j 1] by construction.  The
     iterator is process-agnostic: the parallel subsystem installs
-    [par_hook] in the parent; workers execute [par_run_job] on marshalled
-    jobs against their forked copy of the context. *)
+    {!Transfer.session.ses_par_hook} in the parent; workers execute
+    [par_run_job] on marshalled jobs against their forked copy of the
+    context. *)
 
 (** {1 Function-summary cache (Astree_incremental)}
 
@@ -35,14 +38,14 @@ type outcome = {
     callee for every call context; the summary cache pays for each
     distinct (callee fingerprint, abstract entry state) pair once.  The
     iterator is storage-agnostic: the incremental subsystem installs
-    [call_memo]; a hit replays the recorded side effects and is
-    observationally identical to re-analysis. *)
+    {!Transfer.session.ses_memo}; a hit replays the recorded side
+    effects and is observationally identical to re-analysis. *)
 
 (** Everything one analyzed call produced: the state at the return
     point, the merged return value, and the side effects on the
     context's bookkeeping.  Pure data — marshalled into parallel deltas
     and into the on-disk store. *)
-type summary = {
+type summary = Transfer.summary = {
   sm_exit : Astate.t;
   sm_retv : Astree_domains.Itv.t;
   sm_delta : Transfer.capture_delta;
@@ -52,9 +55,13 @@ type summary = {
     configuration), digest of the abstract entry state with the
     by-reference bindings, and the alarm-collector mode — iteration-mode
     and checking-mode results are never conflated. *)
-type summary_key = { sk_fn : string; sk_entry : string; sk_checking : bool }
+type summary_key = Transfer.summary_key = {
+  sk_fn : string;
+  sk_entry : string;
+  sk_checking : bool;
+}
 
-type call_memo = {
+type call_memo = Transfer.call_memo = {
   cm_key :
     fname:string ->
     checking:bool ->
@@ -75,16 +82,12 @@ type call_memo = {
           against {!memo_min_stmts} *)
 }
 
-(** Installed by [Astree_incremental.Summary]; [None] disables
-    memoization entirely. *)
-val call_memo : call_memo option ref
-
 (** Minimal transitive inlined statement count of a callee before
     memoization is worth the entry-state digest. *)
 val memo_min_stmts : int ref
 
 (** A unit of work shipped to a worker: pure (marshallable) data. *)
-type par_work =
+type par_work = Transfer.par_work =
   | Pw_block of Astree_frontend.Tast.block
       (** execute a block (a conditional branch) *)
   | Pw_call of {
@@ -93,7 +96,7 @@ type par_work =
       args : Astree_frontend.Tast.arg list;
     }
 
-type par_job = {
+type par_job = Transfer.par_job = {
   pj_work : par_work;
   pj_binds : Transfer.binds;
   pj_stack : string list;
@@ -104,7 +107,7 @@ type par_job = {
 
 (** Side effects of a job on the analysis context, replayed by the
     parent in job order for deterministic merging. *)
-type par_delta = {
+type par_delta = Transfer.par_delta = {
   pd_alarms : Alarm.t list;
   pd_invariants : (int * Astate.t) list;
   pd_joins : int;
@@ -122,21 +125,13 @@ type par_delta = {
           parent in job order *)
 }
 
-type par_reply = { pr_out : outcome; pr_delta : par_delta }
-
-(** Dispatch function installed by the parallel scheduler in the parent
-    process.  Must reply in job order; a [None] reply (lost worker,
-    already retried) makes the iterator recompute the job in-process. *)
-val par_hook : (par_job list -> par_reply option list) option ref
+type par_reply = Transfer.par_reply = {
+  pr_out : outcome;
+  pr_delta : par_delta;
+}
 
 (** Minimal statement count of a block before it is worth dispatching. *)
 val par_min_stmts : int ref
-
-(** Called every 256 abstract statements.  The resource governor
-    (Astree_robust.Budget) installs its budget check here; the default
-    is a no-op.  Like [par_hook], a hook so the core stays independent
-    of the robustness subsystem. *)
-val tick_hook : (unit -> unit) ref
 
 (** Worker-side execution of one job against the forked context. *)
 val par_run_job : Transfer.actx -> par_job -> par_reply

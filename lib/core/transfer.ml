@@ -17,10 +17,149 @@ type binds = lval VarMap.t
 (** bindings of by-reference parameters to actual lvalues (function
     inlining, Sect. 5.4) *)
 
+(* ------------------------------------------------------------------ *)
+(* Session types (reentrancy seam, ISSUE 6)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The iterator's extension hooks — the parallel dispatcher, the
+   function-summary memo and the resource-governor tick — used to be
+   module-global refs, which made [Analysis] a process, not a value:
+   two concurrent analyses with different options would clobber each
+   other's hooks.  They now live in a per-analysis {!session} record
+   carried by the context, so a resident server can run requests with
+   different configurations without any shared mutable state.  The
+   types below are pure data over [Astate]/[Alarm] and are re-exported
+   (with equations) by [Iterator], their historical home. *)
+
+(** The side effects of one captured call, in replayable form (the
+    summary cache records these; see the capture functions below). *)
+type capture_delta = {
+  cd_alarms : Alarm.t list;
+  cd_invariants : (int * Astate.t) list;  (** sorted by loop id *)
+  cd_oct_useful : int list;               (** sorted *)
+  cd_joins : int;
+}
+
+(** Flow-separated analysis outcome of a statement or block.  [o_norm]
+    is a disjunction of abstract states (a singleton except under trace
+    partitioning). *)
+type outcome = {
+  o_norm : Astate.t list;
+  o_brk : Astate.t;
+  o_cont : Astate.t;
+  o_ret : Astate.t;
+  o_retv : D.Itv.t;
+}
+
+(** Everything one analyzed call produced: the state at the return
+    point, the merged return value, and the side effects on the
+    context's bookkeeping.  Pure data — marshalled into parallel deltas
+    and into the on-disk store. *)
+type summary = {
+  sm_exit : Astate.t;  (** state after the return-point trace merge *)
+  sm_retv : D.Itv.t;   (** return value (Bot for void / no return) *)
+  sm_delta : capture_delta;
+}
+
+(** Cache key: callee content fingerprint (covers the analysis
+    configuration), digest of the abstract entry state together with
+    the by-reference parameter bindings, and the alarm-collector mode —
+    iteration-mode and checking-mode results are never conflated. *)
+type summary_key = {
+  sk_fn : string;
+  sk_entry : string;
+  sk_checking : bool;
+}
+
+type call_memo = {
+  cm_key :
+    fname:string -> checking:bool -> Astate.t -> binds ->
+    summary_key option;
+      (** [None]: this call is not cacheable (unknown fingerprint) *)
+  cm_find : summary_key -> summary option;
+  cm_add : summary_key -> summary -> unit;
+  cm_fresh : (summary_key * summary) list ref;
+      (** summaries computed by this process since the last drain, in
+          computation order — parallel workers ship them back in their
+          job deltas *)
+  cm_hits : int ref;
+  cm_misses : int ref;
+  cm_want : string -> bool;
+      (** gate: is this callee worth memoizing at all?  Computed once
+          per session from the transitive inlined size of each function
+          against [Iterator.memo_min_stmts] *)
+}
+
+(** A unit of work shipped to a worker: pure data, marshalled. *)
+type par_work =
+  | Pw_block of block  (** execute a block (a conditional branch) *)
+  | Pw_call of { dst : var option; fname : string; args : arg list }
+
+type par_job = {
+  pj_work : par_work;
+  pj_binds : binds;
+  pj_stack : string list;
+  pj_part : bool;
+  pj_state : Astate.t;  (** the single entry state of the job *)
+  pj_checking : bool;   (** alarm-collector mode at the dispatch point *)
+}
+
+(** Side effects of a job on the analysis context, replayed by the
+    parent in job order so that merged results are deterministic. *)
+type par_delta = {
+  pd_alarms : Alarm.t list;
+  pd_invariants : (int * Astate.t) list;  (** loop id -> head invariant *)
+  pd_joins : int;
+  pd_oct_useful : int list;
+  pd_summaries : (summary_key * summary) list;
+      (** summaries freshly computed while running the job, shipped back
+          so the parent (and later jobs) reuse them *)
+  pd_cache_hits : int;
+  pd_cache_misses : int;
+  pd_metrics : Astree_obs.Metrics.snapshot;
+      (** registry delta accumulated while running the job (profile
+          probes included), absorbed by the parent at merge so [-j n]
+          reports are as complete as sequential ones *)
+  pd_events : Astree_obs.Trace.event list;
+      (** trace events emitted while running the job, re-emitted by the
+          parent in job order *)
+}
+
+type par_reply = { pr_out : outcome; pr_delta : par_delta }
+
+(** Per-analysis session: every hook and piece of cross-cutting mutable
+    state one analysis run needs, bundled so that concurrent analyses
+    in one process (the [astreed] daemon, nested drivers) cannot
+    corrupt each other.  Created by [new_session] (or implicitly by
+    [Analysis.analyze]) and carried by the context. *)
+type session = {
+  mutable ses_memo : call_memo option;
+      (** function-summary memo, installed by [Astree_incremental] *)
+  mutable ses_par_hook : (par_job list -> par_reply option list) option;
+      (** parallel dispatch, installed by [Astree_parallel.Scheduler] *)
+  mutable ses_tick_hook : (unit -> unit) option;
+      (** consulted every 256 abstract statements (resource governor) *)
+  mutable ses_ticks : int;
+  mutable ses_preload : (summary_key * summary) list;
+      (** summaries seeded into the memo table before any store load —
+          the daemon ships its resident entries here *)
+  mutable ses_collect_tables : bool;
+      (** when set, [Summary.detach] records the final table below *)
+  mutable ses_tables : (string * (summary_key * summary) list) list;
+      (** (store key, entries) per cache attach of the run, newest
+          first — the daemon absorbs these back into its resident
+          store *)
+  mutable ses_live : actx option;
+      (** the context currently being analyzed under this session, set
+          by [Analysis.analyze_prepared]; the robust subsystem reads it
+          to assemble a partial result on interrupt *)
+}
+
 (** Analysis context shared by all transfer functions. *)
-type actx = {
+and actx = {
   prog : program;
   cfg : Config.t;
+  session : session;  (** hooks and cross-cutting per-run state *)
   packs : Packing.t;
   intern : Cell.interner;
   alarms : Alarm.collector;
@@ -35,7 +174,19 @@ type actx = {
   mutable join_count : int;  (** statistics *)
 }
 
-let make_actx (cfg : Config.t) (p : program) : actx =
+let new_session () : session =
+  {
+    ses_memo = None;
+    ses_par_hook = None;
+    ses_tick_hook = None;
+    ses_ticks = 0;
+    ses_preload = [];
+    ses_collect_tables = false;
+    ses_tables = [];
+    ses_live = None;
+  }
+
+let make_actx ?session (cfg : Config.t) (p : program) : actx =
   let packs = Packing.compute cfg p in
   let input_specs = Hashtbl.create 16 in
   List.iter
@@ -72,6 +223,7 @@ let make_actx (cfg : Config.t) (p : program) : actx =
   {
     prog = p;
     cfg;
+    session = (match session with Some s -> s | None -> new_session ());
     packs;
     intern = Cell.make_interner ();
     alarms = Alarm.make_collector ();
@@ -1675,14 +1827,6 @@ type capture = {
   cap_invariants : (int, Astate.t) Hashtbl.t;  (** copy at entry *)
   cap_oct_useful : (int, unit) Hashtbl.t;      (** copy at entry *)
   cap_joins : int;
-}
-
-(** The side effects of one captured call, in replayable form. *)
-type capture_delta = {
-  cd_alarms : Alarm.t list;
-  cd_invariants : (int * Astate.t) list;  (** sorted by loop id *)
-  cd_oct_useful : int list;               (** sorted *)
-  cd_joins : int;
 }
 
 let capture_begin (a : actx) : capture =

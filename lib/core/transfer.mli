@@ -15,10 +15,117 @@ module D = Astree_domains
     inlining, Sect. 5.4). *)
 type binds = F.Tast.lval F.Tast.VarMap.t
 
+(** {1 Session types (reentrancy seam)}
+
+    The iterator's extension hooks — parallel dispatch, function-summary
+    memo, resource-governor tick — live in a per-analysis {!session}
+    record rather than module-global refs, so concurrent analyses in one
+    process (the [astreed] daemon) cannot corrupt each other.  The data
+    types are re-exported with equations by [Iterator], their historical
+    home. *)
+
+(** Replayable side effects of one captured call (see the capture
+    functions at the bottom of this interface). *)
+type capture_delta = {
+  cd_alarms : Alarm.t list;
+  cd_invariants : (int * Astate.t) list;  (** sorted by loop id *)
+  cd_oct_useful : int list;               (** sorted *)
+  cd_joins : int;
+}
+
+(** Flow-separated analysis outcome of a statement or block. *)
+type outcome = {
+  o_norm : Astate.t list;
+  o_brk : Astate.t;
+  o_cont : Astate.t;
+  o_ret : Astate.t;
+  o_retv : D.Itv.t;
+}
+
+(** Everything one analyzed call produced — pure data, marshalled into
+    parallel deltas and the on-disk store. *)
+type summary = {
+  sm_exit : Astate.t;
+  sm_retv : D.Itv.t;
+  sm_delta : capture_delta;
+}
+
+(** Cache key: callee content fingerprint, digest of the abstract entry
+    state + by-reference bindings, and the alarm-collector mode. *)
+type summary_key = {
+  sk_fn : string;
+  sk_entry : string;
+  sk_checking : bool;
+}
+
+type call_memo = {
+  cm_key :
+    fname:string -> checking:bool -> Astate.t -> binds ->
+    summary_key option;
+  cm_find : summary_key -> summary option;
+  cm_add : summary_key -> summary -> unit;
+  cm_fresh : (summary_key * summary) list ref;
+  cm_hits : int ref;
+  cm_misses : int ref;
+  cm_want : string -> bool;
+}
+
+(** A unit of work shipped to a worker: pure data, marshalled. *)
+type par_work =
+  | Pw_block of F.Tast.block
+  | Pw_call of {
+      dst : F.Tast.var option;
+      fname : string;
+      args : F.Tast.arg list;
+    }
+
+type par_job = {
+  pj_work : par_work;
+  pj_binds : binds;
+  pj_stack : string list;
+  pj_part : bool;
+  pj_state : Astate.t;
+  pj_checking : bool;
+}
+
+(** Side effects of a job, replayed by the parent in job order. *)
+type par_delta = {
+  pd_alarms : Alarm.t list;
+  pd_invariants : (int * Astate.t) list;
+  pd_joins : int;
+  pd_oct_useful : int list;
+  pd_summaries : (summary_key * summary) list;
+  pd_cache_hits : int;
+  pd_cache_misses : int;
+  pd_metrics : Astree_obs.Metrics.snapshot;
+  pd_events : Astree_obs.Trace.event list;
+}
+
+type par_reply = { pr_out : outcome; pr_delta : par_delta }
+
+(** Per-analysis session: the hooks and cross-cutting mutable state of
+    one analysis run.  Sessions make [Analysis] reentrant: the daemon
+    creates one per request. *)
+type session = {
+  mutable ses_memo : call_memo option;
+  mutable ses_par_hook : (par_job list -> par_reply option list) option;
+  mutable ses_tick_hook : (unit -> unit) option;
+  mutable ses_ticks : int;
+  mutable ses_preload : (summary_key * summary) list;
+      (** summaries seeded into the memo before any store load *)
+  mutable ses_collect_tables : bool;
+      (** when set, [Summary.detach] records the final table below *)
+  mutable ses_tables : (string * (summary_key * summary) list) list;
+      (** (store key, entries) per cache attach, newest first *)
+  mutable ses_live : actx option;
+      (** context currently analyzed under this session *)
+}
+
 (** Analysis context shared by all transfer functions. *)
-type actx = {
+and actx = {
   prog : F.Tast.program;
   cfg : Config.t;
+  session : session;
   packs : Packing.t;
   intern : Cell.interner;
   alarms : Alarm.collector;
@@ -32,7 +139,10 @@ type actx = {
   mutable join_count : int;
 }
 
-val make_actx : Config.t -> F.Tast.program -> actx
+(** Fresh session with no hooks installed. *)
+val new_session : unit -> session
+
+val make_actx : ?session:session -> Config.t -> F.Tast.program -> actx
 
 (** {1 Pack lookups (indexed)} *)
 
@@ -122,14 +232,6 @@ val prefill_cells : actx -> unit
     them with the call's result and replay them verbatim on a hit. *)
 
 type capture
-
-(** Replayable side effects of one captured call. *)
-type capture_delta = {
-  cd_alarms : Alarm.t list;
-  cd_invariants : (int * Astate.t) list;  (** sorted by loop id *)
-  cd_oct_useful : int list;               (** sorted *)
-  cd_joins : int;
-}
 
 val capture_begin : actx -> capture
 val capture_end : actx -> capture -> capture_delta

@@ -37,8 +37,12 @@ let rec mkdir_p (dir : string) : unit =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let load ~(dir : string) ~(key : string) :
+let read_store ~(quiet : bool) ~(dir : string) ~(key : string) :
     (C.Iterator.summary_key * C.Iterator.summary) list =
+  let warn fmt =
+    if quiet then Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt
+    else warn fmt
+  in
   let file = file_of ~dir ~key in
   if not (Sys.file_exists file) then []
   else
@@ -53,8 +57,11 @@ let load ~(dir : string) ~(key : string) :
             []
           end
           else begin
-            (* fault injection: behave exactly as a corrupt payload *)
-            if Faultsim.fires Faultsim.Cache_corrupt then
+            (* fault injection: behave exactly as a corrupt payload.
+               The quiet path (the pre-save merge read) skips the
+               injection point so armed fault schedules keep their call
+               numbering *)
+            if (not quiet) && Faultsim.fires Faultsim.Cache_corrupt then
               failwith "fault injection: corrupt store read";
             let stored_digest =
               really_input_string ic 16 (* Digest.string length *)
@@ -84,10 +91,31 @@ let load ~(dir : string) ~(key : string) :
         warn "summary store %s: truncated or corrupt, ignored" file;
         []
 
+let load ~(dir : string) ~(key : string) :
+    (C.Iterator.summary_key * C.Iterator.summary) list =
+  read_store ~quiet:false ~dir ~key
+
 let save ~(dir : string) ~(key : string)
     (entries : (C.Iterator.summary_key * C.Iterator.summary) list) : unit =
   try
     mkdir_p dir;
+    (* merge-on-save: union with whatever is already published under
+       this key, keep-ours on collisions (a key pins the exact entry
+       state and configuration, so colliding summaries are equal).
+       Concurrent writers — daemon workers, batch runs sharing a cache
+       directory — then converge toward the union instead of the last
+       rename silently dropping the other writer's entries.  The read
+       is best-effort and silent: a corrupt incumbent is simply
+       replaced. *)
+    let entries =
+      match read_store ~quiet:true ~dir ~key with
+      | [] -> entries
+      | existing ->
+          let seen = Hashtbl.create (List.length entries) in
+          List.iter (fun (k, _) -> Hashtbl.replace seen k ()) entries;
+          entries
+          @ List.filter (fun (k, _) -> not (Hashtbl.mem seen k)) existing
+    in
     let tmp = Filename.temp_file ~temp_dir:dir "summaries" ".tmp" in
     (* any failure between here and the rename (a full disk, an injected
        ENOSPC) must not leave the temporary behind: remove it before
@@ -111,7 +139,12 @@ let save ~(dir : string) ~(key : string)
            in
            output_string oc magic;
            output_string oc (Digest.string payload);
-           output_string oc payload);
+           output_string oc payload;
+           (* the rename publishes atomically; fsync first so a crash
+              right after it cannot leave the published name pointing at
+              data the kernel never wrote back *)
+           flush oc;
+           Unix.fsync (Unix.descr_of_out_channel oc));
        Sys.rename tmp (file_of ~dir ~key)
      with e ->
        (try Sys.remove tmp with Sys_error _ -> ());

@@ -11,7 +11,12 @@ val load :
   (Astree_core.Iterator.summary_key * Astree_core.Iterator.summary) list
 
 (** Atomically (re)write the store file for [key], creating [dir] if
-    needed.  Failures warn and leave any previous file intact. *)
+    needed.  The new contents are the union of [entries] with whatever
+    the file already held (keep-ours on key collisions — colliding
+    summaries are equal by construction), the data is fsynced before
+    the rename publishes it, and a reader can never observe a torn
+    file: concurrent multi-process writers are safe.  Failures warn
+    and leave any previous file intact. *)
 val save :
   dir:string ->
   key:string ->

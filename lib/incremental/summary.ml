@@ -9,9 +9,10 @@
     computed invariants, so equality of keys is the proof that a hit is
     equivalent to re-analysis.
 
-    The driver installs the table through [Iterator.call_memo] before
-    running the wrapped analysis, so the parallel scheduler's forked
-    workers inherit both the table and the pre-loaded store; workers
+    The driver installs the table in the run's session
+    ({!Astree_core.Transfer.session.ses_memo}) before running the
+    wrapped analysis, so the parallel scheduler's forked workers
+    inherit both the table and the pre-loaded store; workers
     ship fresh summaries back in their job deltas and the parent absorbs
     them in job order (keep-first, deterministic). *)
 
@@ -82,6 +83,7 @@ let inlined_sizes (p : F.Tast.program) : (string, int) Hashtbl.t =
 (* ------------------------------------------------------------------ *)
 
 type session = {
+  ss_ses : C.Transfer.session;  (** the analysis session the memo lives in *)
   ss_fps : Fingerprint.t;
   ss_tbl : (C.Iterator.summary_key, C.Iterator.summary) Hashtbl.t;
   ss_memo : C.Iterator.call_memo;
@@ -90,12 +92,20 @@ type session = {
 }
 
 (** Fingerprint the program, build the summary table (populated from
-    the on-disk store under [Cache_dir]) and install it in the
-    iterator.  Call before the analysis — and before the parallel pool
-    forks, so workers inherit the hot table. *)
-let attach (cfg : C.Config.t) (p : F.Tast.program) : session =
+    [ses.ses_preload] first — the daemon's resident entries — then from
+    the on-disk store under [Cache_dir], keep-first) and install it in
+    the analysis session.  Call before the analysis — and before the
+    parallel pool forks, so workers inherit the hot table. *)
+let attach (ses : C.Transfer.session) (cfg : C.Config.t) (p : F.Tast.program)
+    : session =
   let fps = Fingerprint.make cfg p in
   let tbl = Hashtbl.create 1024 in
+  (* resident entries first: keys self-identify their configuration (the
+     fingerprint folds the config digest), so entries computed under a
+     different config — e.g. a degraded retry — simply never match *)
+  List.iter
+    (fun (k, s) -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k s)
+    ses.C.Transfer.ses_preload;
   let loaded, load_time =
     match cfg.C.Config.summary_cache with
     | C.Config.Cache_dir dir ->
@@ -135,8 +145,9 @@ let attach (cfg : C.Config.t) (p : F.Tast.program) : session =
            | None -> false);
     }
   in
-  C.Iterator.call_memo := Some memo;
+  ses.C.Transfer.ses_memo <- Some memo;
   {
+    ss_ses = ses;
     ss_fps = fps;
     ss_tbl = tbl;
     ss_memo = memo;
@@ -145,10 +156,18 @@ let attach (cfg : C.Config.t) (p : F.Tast.program) : session =
   }
 
 (** Uninstall the table; under [Cache_dir] and [save:true], persist it
-    first.  Returns the cache counters for the run. *)
+    first.  When the analysis session asked for it
+    ([ses_collect_tables]), the final table is also recorded in
+    [ses_tables] so a resident server can absorb it.  Returns the cache
+    counters for the run. *)
 let detach ?(save = true) (cfg : C.Config.t) (ss : session) :
     C.Analysis.cache_stats =
-  C.Iterator.call_memo := None;
+  ss.ss_ses.C.Transfer.ses_memo <- None;
+  if ss.ss_ses.C.Transfer.ses_collect_tables then
+    ss.ss_ses.C.Transfer.ses_tables <-
+      ( Fingerprint.program ss.ss_fps,
+        Hashtbl.fold (fun k s acc -> (k, s) :: acc) ss.ss_tbl [] )
+      :: ss.ss_ses.C.Transfer.ses_tables;
   let save_time =
     match cfg.C.Config.summary_cache with
     | C.Config.Cache_dir dir when save ->
@@ -180,9 +199,10 @@ let detach ?(save = true) (cfg : C.Config.t) (ss : session) :
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let driver (cfg : C.Config.t) (p : F.Tast.program)
-    (core : unit -> C.Analysis.result) : C.Analysis.result =
-  let ss = attach cfg p in
+let driver (ses : C.Transfer.session) (cfg : C.Config.t)
+    (p : F.Tast.program) (core : unit -> C.Analysis.result) :
+    C.Analysis.result =
+  let ss = attach ses cfg p in
   let r =
     try core ()
     with

@@ -24,17 +24,23 @@ val key_fn :
     interface, plus store-load accounting. *)
 type session
 
-(** Fingerprint the program, populate the table from the on-disk store
-    (under [Cache_dir]) and install it via [Iterator.call_memo]. *)
-val attach : C.Config.t -> F.Tast.program -> session
+(** Fingerprint the program, populate the table (from the analysis
+    session's [ses_preload] first, then the on-disk store under
+    [Cache_dir], keep-first) and install it via the session's
+    [ses_memo]. *)
+val attach :
+  C.Transfer.session -> C.Config.t -> F.Tast.program -> session
 
 (** Uninstall the table, persisting it first under [Cache_dir] unless
-    [save:false]; returns the run's cache counters. *)
+    [save:false]; when the analysis session has [ses_collect_tables]
+    set, also records the final table in its [ses_tables].  Returns the
+    run's cache counters. *)
 val detach : ?save:bool -> C.Config.t -> session -> C.Analysis.cache_stats
 
 (** The [Analysis.cache_driver] implementation: attach, run, detach,
     and fill [s_cache] in the result's statistics. *)
 val driver :
+  C.Transfer.session ->
   C.Config.t ->
   F.Tast.program ->
   (unit -> C.Analysis.result) ->

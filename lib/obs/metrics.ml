@@ -173,8 +173,7 @@ let json_escape (s : string) : string =
     s;
   Buffer.contents buf
 
-let render_json ?(timers = true) () : string =
-  let ss = snapshot () in
+let render_samples ~(timers : bool) (ss : snapshot) : string =
   let of_kind k = List.filter (fun s -> s.s_kind = k) ss in
   let obj fmt_one samples =
     "{"
@@ -201,6 +200,14 @@ let render_json ?(timers = true) () : string =
     (obj hist (of_kind Khist))
     (if timers then Printf.sprintf ", \"timers\": %s" (obj time (of_kind Ktimer))
      else "")
+
+let render_json ?(timers = true) () : string =
+  render_samples ~timers (snapshot ())
+
+(* Per-request deltas (the analysis server): same shape as render_json,
+   over an explicit snapshot (typically a [diff]). *)
+let render_snapshot_json ?(timers = true) (ss : snapshot) : string =
+  render_samples ~timers ss
 
 let reset_entry (e : entry) =
   e.e_n <- 0;

@@ -109,6 +109,11 @@ val render_json : ?timers:bool -> unit -> string
     object is omitted and the output is byte-stable across equivalent
     runs (the determinism tests compare it directly). *)
 
+val render_snapshot_json : ?timers:bool -> snapshot -> string
+(** Same JSON shape as {!render_json}, over an explicit snapshot —
+    typically a {!diff}, giving a per-interval (e.g. per-request)
+    metrics object. *)
+
 val reset : unit -> unit
 (** Zero every entry (registrations survive). *)
 

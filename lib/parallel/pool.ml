@@ -28,6 +28,10 @@ type ('a, 'b) t = {
   p_run : 'a -> 'b;
   p_workers : worker array;
   mutable p_alive : bool;
+  p_busy : float option array;
+      (** async interface bookkeeping: [Some deadline] per in-flight
+          submitted job (infinity = no deadline); [map] keeps its own
+          tracking and ignores this *)
 }
 
 let size (p : ('a, 'b) t) = Array.length p.p_workers
@@ -76,8 +80,8 @@ let spawn (f : 'a -> 'b) (foreign : Unix.file_descr list) : worker =
       Unix.close job_w;
       Unix.close res_r;
       List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) foreign;
-      (* the forked child must not re-enter the parent's dispatcher *)
-      Astree_core.Iterator.par_hook := None;
+      (* re-dispatch from a forked child is prevented in the worker fn
+         itself ([Iterator.par_run_job] clears its session's par hook) *)
       let ic = Unix.in_channel_of_descr job_r in
       let oc = Unix.out_channel_of_descr res_w in
       (try worker_loop f ic oc with _ -> ());
@@ -108,7 +112,12 @@ let create ~(jobs : int) (f : 'a -> 'b) : ('a, 'b) t =
   let rec go acc w =
     if w = jobs then List.rev acc else go (spawn f (worker_fds acc) :: acc) (w + 1)
   in
-  { p_run = f; p_workers = Array.of_list (go [] 0); p_alive = true }
+  {
+    p_run = f;
+    p_workers = Array.of_list (go [] 0);
+    p_alive = true;
+    p_busy = Array.make jobs None;
+  }
 
 let dispose_worker (wk : worker) : unit =
   (try Unix.kill wk.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
@@ -271,3 +280,91 @@ let map ?(timeout = infinity) (p : ('a, 'b) t) (jobs : 'a list) :
 let with_pool ~(jobs : int) (f : 'a -> 'b) (k : ('a, 'b) t -> 'c) : 'c =
   let p = create ~jobs f in
   Fun.protect ~finally:(fun () -> shutdown p) (fun () -> k p)
+
+(* ------------------------------------------------------------------ *)
+(* Async interface (one outstanding job per worker slot)               *)
+(* ------------------------------------------------------------------ *)
+
+(* The [map] call above owns the calling thread until every job is
+   done; an event loop (the astreed daemon) instead needs to interleave
+   worker completions with socket traffic.  The async interface exposes
+   the same one-job-per-worker discipline piecewise: [submit] hands a
+   job to an idle worker and returns its slot, the caller selects on
+   [busy_fds] alongside its own descriptors, and [reap]/[cancel] settle
+   a slot.  Crash and timeout recovery match [map]: the worker is
+   killed and respawned, the job comes back as [Error _]. *)
+
+let idle_slots (p : ('a, 'b) t) : int =
+  Array.fold_left
+    (fun n slot -> if slot = None then n + 1 else n)
+    0 p.p_busy
+
+let submit ?(timeout = infinity) (p : ('a, 'b) t) (job : 'a) : int option =
+  if not p.p_alive then invalid_arg "Pool.submit: pool is shut down";
+  let rec find w =
+    if w = Array.length p.p_workers then None
+    else if p.p_busy.(w) = None then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some w -> (
+      let wk = p.p_workers.(w) in
+      match
+        Marshal.to_channel wk.w_oc job [];
+        flush wk.w_oc
+      with
+      | () ->
+          let dl =
+            if timeout = infinity then infinity
+            else Unix.gettimeofday () +. timeout
+          in
+          p.p_busy.(w) <- Some dl;
+          Some w
+      | exception _ ->
+          (* dead worker found at send time: replace it and let the
+             caller retry — the fresh worker's pipe is healthy *)
+          respawn p w;
+          None)
+
+let slot_fd (p : ('a, 'b) t) (w : int) : Unix.file_descr =
+  p.p_workers.(w).w_fd
+
+let busy_fds (p : ('a, 'b) t) : (Unix.file_descr * int) list =
+  let acc = ref [] in
+  Array.iteri
+    (fun w slot ->
+      if slot <> None then acc := (p.p_workers.(w).w_fd, w) :: !acc)
+    p.p_busy;
+  !acc
+
+let reap (p : ('a, 'b) t) (w : int) : ('b, string) result =
+  if p.p_busy.(w) = None then invalid_arg "Pool.reap: slot is idle";
+  p.p_busy.(w) <- None;
+  let wk = p.p_workers.(w) in
+  match (Marshal.from_channel wk.w_ic : ('b, string) result) with
+  | reply -> reply
+  | exception _ ->
+      (* EOF or truncated reply: the worker died mid-job *)
+      respawn p w;
+      Error "worker crashed"
+
+let cancel (p : ('a, 'b) t) (w : int) : unit =
+  if p.p_busy.(w) <> None then begin
+    p.p_busy.(w) <- None;
+    respawn p w
+  end
+
+let expired_slots (p : ('a, 'b) t) ~(now : float) : int list =
+  let acc = ref [] in
+  Array.iteri
+    (fun w slot ->
+      match slot with Some dl when now > dl -> acc := w :: !acc | _ -> ())
+    p.p_busy;
+  !acc
+
+let next_deadline (p : ('a, 'b) t) : float =
+  Array.fold_left
+    (fun acc slot ->
+      match slot with Some dl -> min acc dl | None -> acc)
+    infinity p.p_busy

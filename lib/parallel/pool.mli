@@ -25,3 +25,44 @@ val shutdown : ('a, 'b) t -> unit
 (** [with_pool ~jobs f k] runs [k] with a fresh pool, shutting it down
     on exit. *)
 val with_pool : jobs:int -> ('a -> 'b) -> (('a, 'b) t -> 'c) -> 'c
+
+(** {1 Async interface}
+
+    [map] owns the calling thread until every job completes; an event
+    loop (the analysis daemon) instead interleaves worker completions
+    with its own descriptors.  Same one-job-per-worker discipline,
+    exposed piecewise; do not mix with a concurrent [map] on the same
+    pool. *)
+
+(** Number of workers with no job in flight. *)
+val idle_slots : ('a, 'b) t -> int
+
+(** Hand [job] to an idle worker; returns its slot, or [None] when all
+    workers are busy (or the chosen worker's pipe was already dead — it
+    is respawned and the caller should retry).  [timeout] sets the
+    job's wall-clock deadline, enforced by the caller via
+    {!expired_slots} + {!cancel}. *)
+val submit : ?timeout:float -> ('a, 'b) t -> 'a -> int option
+
+(** Reply descriptor of a slot, for [select].  Invalidated when the
+    worker is respawned — re-query after every {!reap}/{!cancel}. *)
+val slot_fd : ('a, 'b) t -> int -> Unix.file_descr
+
+(** (reply fd, slot) of every in-flight job. *)
+val busy_fds : ('a, 'b) t -> (Unix.file_descr * int) list
+
+(** Read the reply of slot [w] (call when its fd is readable; blocks
+    until the marshalled reply is complete).  A worker that died
+    mid-job is respawned and its job returns [Error "worker crashed"].
+    @raise Invalid_argument if the slot is idle. *)
+val reap : ('a, 'b) t -> int -> ('b, string) result
+
+(** Abort the in-flight job of slot [w]: kill and respawn the worker,
+    free the slot.  No-op on idle slots. *)
+val cancel : ('a, 'b) t -> int -> unit
+
+(** Slots whose job deadline has passed (candidates for {!cancel}). *)
+val expired_slots : ('a, 'b) t -> now:float -> int list
+
+(** Earliest in-flight job deadline ([infinity] when none). *)
+val next_deadline : ('a, 'b) t -> float

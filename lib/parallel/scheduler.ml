@@ -68,12 +68,16 @@ let map_retry (pool : ('a, 'b) Pool.t) ~(timeout : float) (jobs : 'a list) :
     and every cell interned {e before} forking, so parent and workers
     share one frozen cell numbering and marshalled states mean the same
     thing on both sides. *)
-let analyze ?(cfg = C.Config.default) (p : F.Tast.program) : C.Analysis.result
-    =
+let analyze ?session ?(cfg = C.Config.default) (p : F.Tast.program) :
+    C.Analysis.result =
+  let ses =
+    match session with Some s -> s | None -> C.Transfer.new_session ()
+  in
   let jobs = cfg.C.Config.jobs in
-  if jobs <= 1 then C.Analysis.analyze ~cfg:{ cfg with C.Config.jobs = 1 } p
+  if jobs <= 1 then
+    C.Analysis.analyze ~session:ses ~cfg:{ cfg with C.Config.jobs = 1 } p
   else begin
-    let actx = C.Transfer.make_actx cfg p in
+    let actx = C.Transfer.make_actx ~session:ses cfg p in
     C.Transfer.prefill_cells actx;
     (* drain buffered trace events to the sink before forking: workers
        would otherwise inherit (and possibly re-write) the buffered
@@ -82,17 +86,18 @@ let analyze ?(cfg = C.Config.default) (p : F.Tast.program) : C.Analysis.result
     Pool.with_pool ~jobs
       (fun job -> C.Iterator.par_run_job actx job)
       (fun pool ->
-        C.Iterator.par_hook :=
+        ses.C.Transfer.ses_par_hook <-
           Some (fun pjobs -> map_retry pool ~timeout:!intra_job_timeout pjobs);
         Fun.protect
-          ~finally:(fun () -> C.Iterator.par_hook := None)
+          ~finally:(fun () -> ses.C.Transfer.ses_par_hook <- None)
           (fun () -> C.Analysis.analyze_prepared actx p))
   end
 
 (** Install the parallel driver: after this, [Analysis.analyze] with
     [cfg.jobs > 1] routes through [analyze] above. *)
 let register () =
-  C.Analysis.parallel_driver := Some (fun cfg p -> analyze ~cfg p)
+  C.Analysis.parallel_driver :=
+    Some (fun ses cfg p -> analyze ~session:ses ~cfg p)
 
 (* ------------------------------------------------------------------ *)
 (* Axis (b): whole-program batch jobs                                  *)

@@ -15,8 +15,14 @@ val intra_job_timeout : float ref
 val batch_job_timeout : float ref
 
 (** Analyze with [cfg.jobs] worker processes; identical results to the
-    sequential analysis.  [cfg.jobs <= 1] runs sequentially. *)
-val analyze : ?cfg:C.Config.t -> F.Tast.program -> C.Analysis.result
+    sequential analysis.  [cfg.jobs <= 1] runs sequentially.
+    [?session] threads an existing analysis session through (the
+    dispatch hook is installed in it for the duration of the run). *)
+val analyze :
+  ?session:C.Transfer.session ->
+  ?cfg:C.Config.t ->
+  F.Tast.program ->
+  C.Analysis.result
 
 (** Install the driver: [Analysis.analyze] with [cfg.jobs > 1] then
     routes through this module. *)

@@ -105,12 +105,12 @@ let mark (r : C.Analysis.result) (dg : C.Analysis.degraded) :
     (sound for the traces explored — the run did not finish, which is
     exactly what the ["interrupted"] marker says).  The final state is
     bottom: the analysis never reached the program exit. *)
-let interrupted_result (cfg : C.Config.t) (p : F.Tast.program) :
-    C.Analysis.result =
+let interrupted_result (ses : C.Transfer.session) (cfg : C.Config.t)
+    (p : F.Tast.program) : C.Analysis.result =
   let actx =
-    match !C.Analysis.live_actx with
+    match ses.C.Transfer.ses_live with
     | Some a -> a
-    | None -> C.Transfer.make_actx cfg p
+    | None -> C.Transfer.make_actx ~session:ses cfg p
   in
   {
     C.Analysis.r_alarms = C.Alarm.to_list actx.C.Transfer.alarms;
@@ -152,21 +152,23 @@ let interrupted_result (cfg : C.Config.t) (p : F.Tast.program) :
     degradation ladder.  The returned result carries
     [stats.s_degraded = Some _] iff precision was shed or the run was
     interrupted. *)
-let analyze ?(cfg = C.Config.default) (p : F.Tast.program) :
+let analyze ?session ?(cfg = C.Config.default) (p : F.Tast.program) :
     C.Analysis.result =
+  let ses =
+    match session with Some s -> s | None -> C.Transfer.new_session ()
+  in
   let watching =
     cfg.C.Config.timeout > 0.
     || cfg.C.Config.max_mem_mb > 0
     || Budget.handlers_active ()
     || Budget.interrupt_pending ()
   in
-  if not watching then C.Analysis.analyze ~cfg p
+  if not watching then C.Analysis.analyze ~session:ses ~cfg p
   else begin
-    let saved_hook = !C.Iterator.tick_hook in
-    C.Iterator.tick_hook := Budget.poll;
+    ses.C.Transfer.ses_tick_hook <- Some Budget.poll;
     Fun.protect
       ~finally:(fun () ->
-        C.Iterator.tick_hook := saved_hook;
+        ses.C.Transfer.ses_tick_hook <- None;
         Budget.disarm ())
       (fun () ->
         let t0 = Unix.gettimeofday () in
@@ -192,7 +194,7 @@ let analyze ?(cfg = C.Config.default) (p : F.Tast.program) :
           Budget.arm ~deadline:(deadline_at level)
             ~max_mem_mb:cfg.C.Config.max_mem_mb ();
           let acfg = config_at ~level cfg in
-          match C.Analysis.analyze ~cfg:acfg p with
+          match C.Analysis.analyze ~session:ses ~cfg:acfg p with
           | r ->
               if level = 0 then r
               else mark r (degraded_record cfg p ~reason:!last_reason ~level)
@@ -200,7 +202,7 @@ let analyze ?(cfg = C.Config.default) (p : F.Tast.program) :
               if !Astree_obs.Trace.enabled then
                 Astree_obs.Trace.emit "budget.interrupt"
                   ~args:[ ("level", Astree_obs.Trace.I level) ];
-              interrupted_result acfg p
+              interrupted_result ses acfg p
           | exception Budget.Tripped reason ->
               last_reason := reason;
               if !Astree_obs.Trace.enabled then
@@ -221,7 +223,9 @@ let analyze ?(cfg = C.Config.default) (p : F.Tast.program) :
                    (if coarse) result rather than nothing *)
                 Budget.disarm ();
                 mark
-                  (C.Analysis.analyze ~cfg:(config_at ~level:max_level cfg) p)
+                  (C.Analysis.analyze ~session:ses
+                     ~cfg:(config_at ~level:max_level cfg)
+                     p)
                   (degraded_record cfg p ~reason ~level:max_level)
               end
               else attempt (level + 1)

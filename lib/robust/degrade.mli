@@ -19,8 +19,12 @@ val max_level : int
     identical to [Analysis.analyze] when no budget is armed and no
     signal handlers are installed.  [stats.s_degraded] is [Some _] iff
     precision was shed or the run was interrupted (in which case the
-    result is partial: alarms found so far, bottom final state). *)
+    result is partial: alarms found so far, bottom final state).
+    [?session] threads an existing analysis session through the ladder
+    (every attempt, including degraded retries, runs under it); a fresh
+    one is created otherwise. *)
 val analyze :
+  ?session:Astree_core.Transfer.session ->
   ?cfg:Astree_core.Config.t ->
   Astree_frontend.Tast.program ->
   Astree_core.Analysis.result

@@ -1,0 +1,573 @@
+(* The analysis daemon: select()-based event loop over the listening
+   socket, the client connections and the pool workers' reply pipes.
+   See daemon.mli for the protocol and shutdown contract.
+
+   Single-threaded by construction: every state mutation happens in the
+   event loop, so admission control, delta absorption and shutdown need
+   no locking.  The analyses themselves run in forked pool workers, one
+   request per worker at a time. *)
+
+module C = Astree_core
+module Pool = Astree_parallel.Pool
+module Store = Astree_incremental.Store
+module Budget = Astree_robust.Budget
+module Metrics = Astree_obs.Metrics
+module Trace = Astree_obs.Trace
+
+type config = {
+  d_socket : string;
+  d_workers : int;
+  d_queue_depth : int;
+  d_timeout : float;
+  d_max_mem : int;
+  d_cache_dir : string option;
+  d_max_programs : int;
+  d_grace : float;
+  d_verbose : bool;
+}
+
+let default : config =
+  {
+    d_socket = "astreed.sock";
+    d_workers = 4;
+    d_queue_depth = 32;
+    d_timeout = 0.;
+    d_max_mem = 0;
+    d_cache_dir = None;
+    d_max_programs = 32;
+    d_grace = 60.;
+    d_verbose = false;
+  }
+
+(* ---- connections ------------------------------------------------- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_buf : Buffer.t;          (* bytes read, not yet line-terminated *)
+  mutable c_alive : bool;
+}
+
+type pending = {
+  p_conn : conn;
+  p_id : string;             (* the request id, already rendered *)
+  p_work : Service.work;
+  p_digest : string;         (* source digest, keys the resident store *)
+  p_received : float;
+}
+
+type entries = (C.Iterator.summary_key * C.Iterator.summary) list
+
+type state = {
+  st_cfg : config;
+  st_pool : (Service.work, Service.outcome) Pool.t;
+  mutable st_listen : Unix.file_descr option;
+  mutable st_conns : conn list;
+  st_inflight : (int, pending) Hashtbl.t;       (* pool slot -> request *)
+  st_queue : pending Queue.t;
+  (* resident summary store: source digest -> per-store-key tables,
+     merged keep-first (keys self-identify config and entry state, so
+     colliding entries are equal) *)
+  st_tables : (string, (string * entries) list ref) Hashtbl.t;
+  st_order : string Queue.t;                    (* digest insertion order *)
+  st_started : float;
+  mutable st_draining : bool;
+  mutable st_drain_t : float;
+  mutable st_served : int;
+  mutable st_shed : int;
+  mutable st_errors : int;
+}
+
+let log st fmt =
+  Format.kasprintf
+    (fun s -> if st.st_cfg.d_verbose then prerr_endline ("astreed: " ^ s))
+    fmt
+
+(* ---- socket i/o -------------------------------------------------- *)
+
+let rec write_all fd s off =
+  let n = String.length s - off in
+  if n > 0 then
+    match Unix.write_substring fd s off n with
+    | k -> write_all fd s (off + k)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off
+
+let close_conn st conn =
+  if conn.c_alive then begin
+    conn.c_alive <- false;
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    st.st_conns <- List.filter (fun c -> c != conn) st.st_conns
+  end
+
+let reply st conn (line : string) =
+  if conn.c_alive then
+    try write_all conn.c_fd (line ^ "\n") 0
+    with Unix.Unix_error _ -> close_conn st conn
+
+(* ---- reply rendering --------------------------------------------- *)
+
+let error_reply id msg =
+  Printf.sprintf "{\"id\": %s, \"status\": \"error\", \"error\": %s}" id
+    (Report.json_str msg)
+
+let shed_reply id =
+  Printf.sprintf
+    "{\"id\": %s, \"status\": \"shed\", \"error\": \"queue full\"}" id
+
+let shutting_down_reply id =
+  Printf.sprintf "{\"id\": %s, \"status\": \"shutting_down\"}" id
+
+(* the report is spliced in verbatim and kept last, so clients can
+   extract the exact bytes without reserializing *)
+let ok_reply pend (sv : Service.served) ~now =
+  let wait = Float.max 0. (now -. pend.p_received -. sv.sv_time) in
+  Printf.sprintf
+    "{\"id\": %s, \"status\": \"ok\", \"exit\": %d, \"server\": \
+     {\"wait_s\": %.6f, \"analysis_s\": %.6f, \"preloaded\": %d, \
+     \"events\": %d, \"metrics\": %s}, \"report\": %s}"
+    pend.p_id sv.sv_exit wait sv.sv_time
+    (List.length pend.p_work.Service.w_preload)
+    (List.length sv.sv_events)
+    (Metrics.render_snapshot_json ~timers:false sv.sv_metrics)
+    sv.sv_report
+
+let status_reply st id ~now =
+  Printf.sprintf
+    "{\"id\": %s, \"status\": \"ok\", \"server\": {\"pid\": %d, \
+     \"uptime_s\": %.3f, \"workers\": %d, \"inflight\": %d, \
+     \"queued\": %d, \"served\": %d, \"shed\": %d, \"errors\": %d, \
+     \"programs\": %d, \"draining\": %b}}"
+    id (Unix.getpid ()) (now -. st.st_started)
+    (Pool.size st.st_pool)
+    (Hashtbl.length st.st_inflight)
+    (Queue.length st.st_queue) st.st_served st.st_shed st.st_errors
+    (Hashtbl.length st.st_tables) st.st_draining
+
+let metrics_reply id =
+  Printf.sprintf "{\"id\": %s, \"status\": \"ok\", \"metrics\": %s}" id
+    (Metrics.render_json ~timers:false ())
+
+(* ---- resident summary store -------------------------------------- *)
+
+let resident_preload st digest : entries =
+  match Hashtbl.find_opt st.st_tables digest with
+  | None -> []
+  | Some tables -> List.concat_map snd !tables
+
+let absorb_tables st digest (tables : (string * entries) list) =
+  if tables <> [] then begin
+    let slot =
+      match Hashtbl.find_opt st.st_tables digest with
+      | Some r -> r
+      | None ->
+          if Hashtbl.length st.st_tables >= st.st_cfg.d_max_programs then begin
+            match Queue.take_opt st.st_order with
+            | Some old -> Hashtbl.remove st.st_tables old
+            | None -> ()
+          end;
+          Queue.push digest st.st_order;
+          let r = ref [] in
+          Hashtbl.add st.st_tables digest r;
+          r
+    in
+    List.iter
+      (fun (key, entries) ->
+        let existing =
+          Option.value ~default:[] (List.assoc_opt key !slot)
+        in
+        let seen = Hashtbl.create (List.length existing + 1) in
+        List.iter (fun (k, _) -> Hashtbl.replace seen k ()) existing;
+        let fresh =
+          List.filter (fun (k, _) -> not (Hashtbl.mem seen k)) entries
+        in
+        if fresh <> [] || existing = [] then
+          slot := (key, existing @ fresh) :: List.remove_assoc key !slot)
+      tables
+  end
+
+let flush_store st =
+  match st.st_cfg.d_cache_dir with
+  | None -> ()
+  | Some dir ->
+      Hashtbl.iter
+        (fun _ tables ->
+          List.iter
+            (fun (key, entries) ->
+              if entries <> [] then Store.save ~dir ~key entries)
+            !tables)
+        st.st_tables
+
+(* ---- admission --------------------------------------------------- *)
+
+let hard_deadline (pend : pending) =
+  let t = pend.p_work.Service.w_options.Service.o_timeout in
+  (* the degradation ladder's own envelope is 2x the budget; the pool
+     deadline only catches wedged workers, so leave generous slack *)
+  if t > 0. then (2. *. t) +. 30. else infinity
+
+let try_submit st pend : bool =
+  let rec go attempts =
+    if attempts = 0 then false
+    else
+      match
+        Pool.submit ~timeout:(hard_deadline pend) st.st_pool pend.p_work
+      with
+      | Some slot ->
+          Hashtbl.replace st.st_inflight slot pend;
+          true
+      | None ->
+          (* all busy — or a dead pipe was respawned; retry in the
+             latter case *)
+          if Pool.idle_slots st.st_pool > 0 then go (attempts - 1) else false
+  in
+  go (Pool.size st.st_pool)
+
+let drain_queue st =
+  let rec go () =
+    if (not (Queue.is_empty st.st_queue)) && Pool.idle_slots st.st_pool > 0
+    then begin
+      let pend = Queue.pop st.st_queue in
+      if try_submit st pend then go ()
+      else begin
+        (* no worker took it after all: put it back at the front *)
+        let rest = Queue.create () in
+        Queue.transfer st.st_queue rest;
+        Queue.push pend st.st_queue;
+        Queue.transfer rest st.st_queue
+      end
+    end
+  in
+  go ()
+
+let admit st pend =
+  if st.st_draining then reply st pend.p_conn (shutting_down_reply pend.p_id)
+  else if try_submit st pend then ()
+  else if Queue.length st.st_queue < st.st_cfg.d_queue_depth then
+    Queue.push pend st.st_queue
+  else begin
+    st.st_shed <- st.st_shed + 1;
+    log st "shed request %s (queue full)" pend.p_id;
+    reply st pend.p_conn (shed_reply pend.p_id)
+  end
+
+(* ---- request handling -------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let request_sources (j : Json.t) : ((string * string) list, string) result =
+  match Json.to_list (Json.member "files" j) with
+  | Some files ->
+      let parsed =
+        List.map
+          (fun f ->
+            match
+              ( Json.to_str (Json.member "name" f),
+                Json.to_str (Json.member "contents" f) )
+            with
+            | Some n, Some c -> Some (n, c)
+            | _ -> None)
+          files
+      in
+      if List.exists Option.is_none parsed then
+        Error "files must be [{\"name\": .., \"contents\": ..}, ..]"
+      else if parsed = [] then Error "no input files"
+      else Ok (List.filter_map Fun.id parsed)
+  | None -> (
+      match Json.to_list (Json.member "path" j) with
+      | Some paths ->
+          let paths = List.filter_map Json.to_str paths in
+          if paths = [] then Error "no input files"
+          else (
+            try Ok (List.map (fun p -> (p, read_file p)) paths)
+            with Sys_error msg -> Error msg)
+      | None -> Error "analyze needs \"files\" or \"path\"")
+
+let handle_analyze st conn id (j : Json.t) ~now =
+  match request_sources j with
+  | Error msg -> reply st conn (error_reply id msg)
+  | Ok sources ->
+      let main =
+        Option.value ~default:"main" (Json.to_str (Json.member "main" j))
+      in
+      let o = Service.options_of_json (Json.member "options" j) in
+      (* daemon-level defaults apply when the request brings none *)
+      let o =
+        {
+          o with
+          Service.o_timeout =
+            (if o.Service.o_timeout > 0. then o.Service.o_timeout
+             else st.st_cfg.d_timeout);
+          o_max_mem =
+            (if o.Service.o_max_mem > 0 then o.Service.o_max_mem
+             else st.st_cfg.d_max_mem);
+        }
+      in
+      let digest = Service.source_digest ~main sources in
+      (* requests that did not pick a cache run against the resident
+         store (plus the on-disk one when the daemon persists), with
+         the counters stripped from the report for parity with a
+         cache-less one-shot run.  An explicit cache choice is honored
+         verbatim — including no preload — so the reply matches the
+         equivalent one-shot exactly. *)
+      let o, strip, preload =
+        if o.Service.o_cache = `Default then
+          let c =
+            match st.st_cfg.d_cache_dir with
+            | Some dir -> `Dir dir
+            | None -> `Mem
+          in
+          ({ o with Service.o_cache = c }, true, resident_preload st digest)
+        else (o, false, [])
+      in
+      admit st
+        {
+          p_conn = conn;
+          p_id = id;
+          p_work =
+            {
+              Service.w_sources = sources;
+              w_main = main;
+              w_options = o;
+              w_preload = preload;
+              w_strip_cache = strip;
+            };
+          p_digest = digest;
+          p_received = now;
+        }
+
+let handle_line st conn (line : string) ~now =
+  match Json.parse line with
+  | Error msg -> reply st conn (error_reply "null" ("bad request: " ^ msg))
+  | Ok j -> (
+      let id = Json.to_string (Json.member "id" j) in
+      match Json.to_str (Json.member "verb" j) with
+      | Some "analyze" -> handle_analyze st conn id j ~now
+      | Some "status" -> reply st conn (status_reply st id ~now)
+      | Some "metrics" -> reply st conn (metrics_reply id)
+      | Some "shutdown" ->
+          reply st conn
+            (Printf.sprintf "{\"id\": %s, \"status\": \"ok\"}" id);
+          Budget.interrupt ()
+      | Some v -> reply st conn (error_reply id ("unknown verb: " ^ v))
+      | None -> reply st conn (error_reply id "missing verb"))
+
+(* read whatever the connection has, split off complete lines *)
+let handle_readable st conn ~now =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.c_fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn st conn
+  | 0 -> close_conn st conn
+  | n ->
+      Buffer.add_subbytes conn.c_buf chunk 0 n;
+      let data = Buffer.contents conn.c_buf in
+      let lines = String.split_on_char '\n' data in
+      let rec go = function
+        | [] | [ "" ] -> Buffer.clear conn.c_buf
+        | [ partial ] ->
+            Buffer.clear conn.c_buf;
+            Buffer.add_string conn.c_buf partial
+        | line :: rest ->
+            if String.trim line <> "" then handle_line st conn line ~now;
+            go rest
+      in
+      go lines
+
+(* ---- worker completions ------------------------------------------ *)
+
+let finish st slot ~now =
+  match Hashtbl.find_opt st.st_inflight slot with
+  | None -> ignore (Pool.reap st.st_pool slot)
+  | Some pend ->
+      Hashtbl.remove st.st_inflight slot;
+      (match Pool.reap st.st_pool slot with
+      | Ok (Service.Served sv) ->
+          Metrics.absorb sv.Service.sv_metrics;
+          if !Trace.enabled then Trace.absorb sv.Service.sv_events;
+          absorb_tables st pend.p_digest sv.Service.sv_tables;
+          st.st_served <- st.st_served + 1;
+          log st "served %s: exit %d, %d alarms, %.3fs" pend.p_id
+            sv.Service.sv_exit sv.Service.sv_alarms sv.Service.sv_time;
+          reply st pend.p_conn (ok_reply pend sv ~now)
+      | Ok (Service.Refused msg) ->
+          st.st_errors <- st.st_errors + 1;
+          reply st pend.p_conn (error_reply pend.p_id msg)
+      | Error msg ->
+          st.st_errors <- st.st_errors + 1;
+          log st "request %s failed: %s" pend.p_id msg;
+          reply st pend.p_conn (error_reply pend.p_id msg));
+      drain_queue st
+
+let cancel_expired st ~now =
+  List.iter
+    (fun slot ->
+      match Hashtbl.find_opt st.st_inflight slot with
+      | None -> Pool.cancel st.st_pool slot
+      | Some pend ->
+          Hashtbl.remove st.st_inflight slot;
+          Pool.cancel st.st_pool slot;
+          st.st_errors <- st.st_errors + 1;
+          log st "request %s timed out (hard limit)" pend.p_id;
+          reply st pend.p_conn (error_reply pend.p_id "request timed out"))
+    (Pool.expired_slots st.st_pool ~now);
+  drain_queue st
+
+(* ---- shutdown ---------------------------------------------------- *)
+
+let begin_drain st ~now =
+  st.st_draining <- true;
+  st.st_drain_t <- now;
+  (match st.st_listen with
+  | Some fd ->
+      st.st_listen <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink st.st_cfg.d_socket with Unix.Unix_error _ | Sys_error _ -> ())
+  | None -> ());
+  Queue.iter
+    (fun pend -> reply st pend.p_conn (shutting_down_reply pend.p_id))
+    st.st_queue;
+  Queue.clear st.st_queue;
+  log st "shutting down: %d in-flight request(s) draining"
+    (Hashtbl.length st.st_inflight)
+
+let force_cancel_inflight st =
+  Hashtbl.iter
+    (fun slot pend ->
+      Pool.cancel st.st_pool slot;
+      reply st pend.p_conn
+        (error_reply pend.p_id "canceled: daemon shutting down"))
+    st.st_inflight;
+  Hashtbl.reset st.st_inflight
+
+(* ---- socket setup ------------------------------------------------ *)
+
+let bind_socket (path : string) : Unix.file_descr =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+     (* a socket file exists: live daemon, or debris from a dead one? *)
+     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     let live =
+       try
+         Unix.connect probe (Unix.ADDR_UNIX path);
+         true
+       with Unix.Unix_error _ -> false
+     in
+     (try Unix.close probe with Unix.Unix_error _ -> ());
+     if live then begin
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       failwith ("a daemon is already listening on " ^ path)
+     end
+     else begin
+       Unix.unlink path;
+       Unix.bind fd (Unix.ADDR_UNIX path)
+     end);
+  Unix.listen fd 64;
+  fd
+
+(* ---- the event loop ---------------------------------------------- *)
+
+let run (dc : config) : int =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Budget.install_signal_handlers ();
+  match bind_socket dc.d_socket with
+  | exception Failure msg ->
+      prerr_endline ("astreed: " ^ msg);
+      1
+  | exception Unix.Unix_error (e, _, _) ->
+      prerr_endline
+        ("astreed: cannot bind " ^ dc.d_socket ^ ": " ^ Unix.error_message e);
+      1
+  | listen_fd ->
+      let st =
+        {
+          st_cfg = dc;
+          st_pool = Pool.create ~jobs:(max 1 dc.d_workers) Service.serve;
+          st_listen = Some listen_fd;
+          st_conns = [];
+          st_inflight = Hashtbl.create 16;
+          st_queue = Queue.create ();
+          st_tables = Hashtbl.create 16;
+          st_order = Queue.create ();
+          st_started = Unix.gettimeofday ();
+          st_draining = false;
+          st_drain_t = 0.;
+          st_served = 0;
+          st_shed = 0;
+          st_errors = 0;
+        }
+      in
+      log st "listening on %s (%d worker(s), queue depth %d)" dc.d_socket
+        (Pool.size st.st_pool) dc.d_queue_depth;
+      let rec loop () =
+        let now = Unix.gettimeofday () in
+        if Budget.interrupt_pending () && not st.st_draining then
+          begin_drain st ~now;
+        if st.st_draining && Hashtbl.length st.st_inflight = 0 then ()
+        else begin
+          if
+            st.st_draining
+            && now -. st.st_drain_t > dc.d_grace
+            && Hashtbl.length st.st_inflight > 0
+          then force_cancel_inflight st;
+          if st.st_draining && Hashtbl.length st.st_inflight = 0 then ()
+          else begin
+            let busy = Pool.busy_fds st.st_pool in
+            let rfds =
+              (match st.st_listen with Some fd -> [ fd ] | None -> [])
+              @ List.map (fun c -> c.c_fd) st.st_conns
+              @ List.map fst busy
+            in
+            let timeout =
+              let deadline = Pool.next_deadline st.st_pool in
+              if deadline = infinity then 1.0
+              else Float.max 0.01 (Float.min 1.0 (deadline -. now))
+            in
+            (match Unix.select rfds [] [] timeout with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | ready, _, _ ->
+                let now = Unix.gettimeofday () in
+                (* worker completions first: they free slots the queued
+                   requests are waiting for *)
+                List.iter
+                  (fun (fd, slot) ->
+                    if List.mem fd ready then finish st slot ~now)
+                  busy;
+                List.iter
+                  (fun conn ->
+                    if conn.c_alive && List.mem conn.c_fd ready then
+                      handle_readable st conn ~now)
+                  st.st_conns;
+                (match st.st_listen with
+                | Some fd when List.mem fd ready -> (
+                    match Unix.accept fd with
+                    | exception Unix.Unix_error _ -> ()
+                    | cfd, _ ->
+                        st.st_conns <-
+                          { c_fd = cfd; c_buf = Buffer.create 256;
+                            c_alive = true }
+                          :: st.st_conns;
+                        log st "client connected (%d total)"
+                          (List.length st.st_conns))
+                | _ -> ()));
+            cancel_expired st ~now:(Unix.gettimeofday ());
+            loop ()
+          end
+        end
+      in
+      loop ();
+      flush_store st;
+      List.iter (fun conn -> close_conn st conn) st.st_conns;
+      Pool.shutdown st.st_pool;
+      (match st.st_listen with
+      | Some fd ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          (try Unix.unlink dc.d_socket
+           with Unix.Unix_error _ | Sys_error _ -> ())
+      | None -> ());
+      log st "exited cleanly (%d served, %d shed, %d errors)" st.st_served
+        st.st_shed st.st_errors;
+      0

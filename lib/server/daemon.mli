@@ -1,0 +1,48 @@
+(** The analysis daemon: a Unix-domain-socket server multiplexing
+    concurrent analyze requests over the fork pool.
+
+    One process owns the listening socket and a [select] event loop;
+    requests are dispatched to long-lived pool workers (which keep the
+    typed-IR cache warm), and finished requests ship back their report
+    plus summary-table, metrics and trace deltas.  The daemon absorbs
+    the deltas: summaries accumulate in a resident per-program store
+    that seeds later requests ([ses_preload]), metrics accumulate in
+    the registry served by the [metrics] verb.
+
+    {b Protocol} (newline-delimited JSON, one object per line):
+    requests carry a [verb] ([analyze], [status], [metrics],
+    [shutdown]) and an optional [id] echoed in the reply; replies carry
+    a [status] of [ok], [error], [shed] (admission refused: queue
+    full) or [shutting_down].  See DESIGN.md section 12 for the full
+    grammar.
+
+    {b Shutdown.}  SIGINT, SIGTERM and the [shutdown] verb all route
+    through the budget subsystem's interrupt flag: the daemon stops
+    accepting, unlinks the socket, tells queued clients
+    [shutting_down], drains in-flight requests (bounded by [d_grace]),
+    flushes the resident store to [d_cache_dir] and exits. *)
+
+type config = {
+  d_socket : string;         (** path of the listening socket *)
+  d_workers : int;           (** pool size = max in-flight requests *)
+  d_queue_depth : int;       (** admission queue bound; 0 = no queue *)
+  d_timeout : float;         (** default per-request budget (seconds)
+                                 applied when a request brings none;
+                                 [0.] = none *)
+  d_max_mem : int;           (** default per-request heap watermark *)
+  d_cache_dir : string option;
+      (** persist the resident summary store here at shutdown, and use
+          it as the workers' summary cache directory *)
+  d_max_programs : int;      (** resident-store program cap (LRU-ish) *)
+  d_grace : float;           (** drain bound: in-flight requests still
+                                 running this many seconds after
+                                 shutdown started are canceled *)
+  d_verbose : bool;          (** log connections and requests on stderr *)
+}
+
+val default : config
+
+val run : config -> int
+(** Serve until interrupted; returns the process exit code ([0] after a
+    clean shutdown, [1] on a startup failure such as a live daemon
+    already owning the socket). *)

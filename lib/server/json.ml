@@ -1,0 +1,238 @@
+(* Minimal JSON codec for the server wire protocol: recursive-descent
+   parser over a string, compact printer.  See json.mli. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- printing ---------------------------------------------------- *)
+
+let escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let num_to_string (v : float) : string =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    string_of_int (int_of_float v)
+  else if Float.is_nan v || Float.abs v = Float.infinity then "null"
+  else Printf.sprintf "%.17g" v
+
+let rec to_string (j : t) : string =
+  match j with
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Num v -> num_to_string v
+  | Str s -> "\"" ^ escape s ^ "\""
+  | List l -> "[" ^ String.concat ", " (List.map to_string l) ^ "]"
+  | Obj members ->
+      "{"
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) -> "\"" ^ escape k ^ "\": " ^ to_string v)
+             members)
+      ^ "}"
+
+(* ---- parsing ----------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable i : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.i))
+let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+let skip_ws c =
+  while
+    c.i < String.length c.s
+    && match c.s.[c.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.i <- c.i + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.i <- c.i + 1
+  | _ -> fail c (Printf.sprintf "expected '%c'" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.i + n <= String.length c.s && String.sub c.s c.i n = word then begin
+    c.i <- c.i + n;
+    value
+  end
+  else fail c ("expected " ^ word)
+
+(* UTF-8 encode one scalar value into [buf] *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let hex4 c =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let d =
+      match peek c with
+      | Some ch when ch >= '0' && ch <= '9' -> Char.code ch - Char.code '0'
+      | Some ch when ch >= 'a' && ch <= 'f' -> Char.code ch - Char.code 'a' + 10
+      | Some ch when ch >= 'A' && ch <= 'F' -> Char.code ch - Char.code 'A' + 10
+      | _ -> fail c "bad \\u escape"
+    in
+    c.i <- c.i + 1;
+    v := (!v lsl 4) lor d
+  done;
+  !v
+
+let parse_string_body c =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> c.i <- c.i + 1
+    | Some '\\' -> (
+        c.i <- c.i + 1;
+        (match peek c with
+        | Some '"' -> Buffer.add_char buf '"'; c.i <- c.i + 1
+        | Some '\\' -> Buffer.add_char buf '\\'; c.i <- c.i + 1
+        | Some '/' -> Buffer.add_char buf '/'; c.i <- c.i + 1
+        | Some 'b' -> Buffer.add_char buf '\b'; c.i <- c.i + 1
+        | Some 'f' -> Buffer.add_char buf '\012'; c.i <- c.i + 1
+        | Some 'n' -> Buffer.add_char buf '\n'; c.i <- c.i + 1
+        | Some 'r' -> Buffer.add_char buf '\r'; c.i <- c.i + 1
+        | Some 't' -> Buffer.add_char buf '\t'; c.i <- c.i + 1
+        | Some 'u' ->
+            c.i <- c.i + 1;
+            let cp = hex4 c in
+            (* combine a high surrogate with a following \uXXXX low one *)
+            if cp >= 0xD800 && cp <= 0xDBFF
+               && c.i + 1 < String.length c.s
+               && c.s.[c.i] = '\\' && c.s.[c.i + 1] = 'u'
+            then begin
+              c.i <- c.i + 2;
+              let lo = hex4 c in
+              if lo >= 0xDC00 && lo <= 0xDFFF then
+                add_utf8 buf
+                  (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+              else begin
+                add_utf8 buf cp;
+                add_utf8 buf lo
+              end
+            end
+            else add_utf8 buf cp
+        | _ -> fail c "bad escape");
+        go ())
+    | Some ch -> Buffer.add_char buf ch; c.i <- c.i + 1; go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.i in
+  let is_num_char ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  while c.i < String.length c.s && is_num_char c.s.[c.i] do
+    c.i <- c.i + 1
+  done;
+  match float_of_string_opt (String.sub c.s start (c.i - start)) with
+  | Some v -> Num v
+  | None -> fail c "bad number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> c.i <- c.i + 1; Str (parse_string_body c)
+  | Some '[' ->
+      c.i <- c.i + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin c.i <- c.i + 1; List [] end
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> c.i <- c.i + 1; items (v :: acc)
+          | Some ']' -> c.i <- c.i + 1; List (List.rev (v :: acc))
+          | _ -> fail c "expected ',' or ']'"
+        in
+        items []
+  | Some '{' ->
+      c.i <- c.i + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin c.i <- c.i + 1; Obj [] end
+      else
+        let rec members acc =
+          skip_ws c;
+          expect c '"';
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> c.i <- c.i + 1; members ((k, v) :: acc)
+          | Some '}' -> c.i <- c.i + 1; Obj (List.rev ((k, v) :: acc))
+          | _ -> fail c "expected ',' or '}'"
+        in
+        members []
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected '%c'" ch)
+
+let parse (s : string) : (t, string) result =
+  let c = { s; i = 0 } in
+  try
+    let v = parse_value c in
+    skip_ws c;
+    if c.i <> String.length s then Error "trailing garbage"
+    else Ok v
+  with Parse_error msg -> Result.error msg
+
+(* ---- accessors --------------------------------------------------- *)
+
+let member k = function
+  | Obj members -> ( match List.assoc_opt k members with Some v -> v | None -> Null)
+  | _ -> Null
+
+let to_str = function Str s -> Some s | _ -> None
+let to_num = function Num v -> Some v | _ -> None
+
+let to_int = function
+  | Num v when Float.is_integer v -> Some (int_of_float v)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,38 @@
+(** Minimal JSON codec for the analysis-server wire protocol.
+
+    The daemon and its clients exchange newline-delimited JSON; this is
+    the whole parser and printer for it (the toolchain has no JSON
+    library, and the report renderer in {!Report} builds its output by
+    string pasting anyway).  The value model is the standard six-way
+    variant; numbers are floats, printed as integers when integral so
+    request ids round-trip textually. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error).  String escapes cover the JSON set including
+    [\uXXXX] with surrogate pairs, decoded to UTF-8. *)
+
+val to_string : t -> string
+(** Compact rendering (no added whitespace beyond [", "] and [": "]
+    separators, matching the report renderer's style). *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+(** {1 Accessors} — total; missing members and wrong kinds yield
+    [Null]/[None] so request handling can validate piecewise. *)
+
+val member : string -> t -> t
+val to_str : t -> string option
+val to_num : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_list : t -> t list option

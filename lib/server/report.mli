@@ -1,0 +1,31 @@
+(** The analyzer's JSON report, shared by the one-shot CLI and the
+    analysis daemon.
+
+    [astree --format json] and an [astreed] worker must produce the
+    same bytes for the same analysis — the server-mode parity tests
+    diff them — so the rendering lives here, in one place, and both
+    entry points call it. *)
+
+module C = Astree_core
+
+val json_escape : string -> string
+val json_str : string -> string
+
+val render : ?metrics:bool -> C.Analysis.result -> string
+(** The whole result as one JSON object (no trailing newline): alarms
+    (with provenance when recorded), statistics (cache counters always
+    included when a cache ran), the useful-octagon-pack ids, the
+    deterministic result fingerprint ([Merge.fingerprint], the digest
+    the equivalence tests compare), for degraded or interrupted runs a
+    ["degraded"] block, and with [~metrics:true] the full metrics
+    registry. *)
+
+val strip_cache : C.Analysis.result -> C.Analysis.result
+(** Drop the cache counters from the result's statistics.  The daemon
+    keeps a resident summary cache even for requests that did not ask
+    for one; stripping makes such replies byte-comparable with a
+    cache-less one-shot run. *)
+
+val exit_code : C.Analysis.result -> int
+(** The CLI exit-code convention: [0] clean, [1] alarms, [3]
+    degraded-but-complete, [130] interrupted. *)

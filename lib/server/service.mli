@@ -1,0 +1,100 @@
+(** Request semantics of the analysis server: the analyze-request
+    options, their mapping to {!Astree_core.Config.t}, and the job a
+    daemon worker runs for one request.
+
+    The one-shot CLI builds its configuration through {!config_of} too,
+    so a request forwarded to the daemon and the same invocation run
+    in-process resolve to the same analysis — the foundation of the
+    client-mode byte-parity guarantee. *)
+
+module C = Astree_core
+module F = Astree_frontend
+
+(** {1 Options} *)
+
+(** Mirror of the [astree] analysis flags (domain toggles, iteration
+    parameters, budget, cache selection).  [`Default] cache means "the
+    caller did not say": the one-shot CLI resolves it to [Cache_off],
+    the daemon to its resident cache policy. *)
+type options = {
+  o_no_oct : bool;
+  o_no_ell : bool;
+  o_no_dt : bool;
+  o_no_clock : bool;
+  o_no_lin : bool;
+  o_no_thresholds : bool;
+  o_unroll : int;
+  o_partition : string list;
+  o_max_dtree_bools : int;
+  o_useful_packs : int list;
+  o_jobs : int;
+  o_timeout : float;
+  o_max_mem : int;
+  o_cache : [ `Default | `Off | `Mem | `Dir of string ];
+}
+
+val default_options : options
+
+val options_to_json : options -> Json.t
+(** Only non-default members are emitted, so requests stay small. *)
+
+val options_of_json : Json.t -> options
+(** Missing members keep their default; unknown members are ignored. *)
+
+val config_of : options -> sources:(string * string) list -> C.Config.t
+(** The flag-to-configuration mapping of the CLI, including the
+    ["/* astree-partition: ... */"] marker scan of the sources when no
+    explicit partition list is given. *)
+
+(** {1 Compilation} *)
+
+exception Request_error of string
+(** A request that cannot be served (unreadable file, parse or type
+    error); the daemon turns it into an error reply, the worker
+    survives. *)
+
+val source_digest : main:string -> (string * string) list -> string
+(** Hex digest identifying a compiled program (sources + entry point);
+    keys the daemon's resident caches. *)
+
+val compile_cached : main:string -> (string * string) list -> F.Tast.program
+(** Compile, memoized on {!source_digest} — the typed-IR cache that
+    stays resident in a long-lived worker.  Frontend failures raise
+    {!Request_error} with the CLI's error wording. *)
+
+(** {1 Worker jobs} *)
+
+(** One analyze request, marshalled to a pool worker. *)
+type work = {
+  w_sources : (string * string) list;
+  w_main : string;
+  w_options : options;
+  w_preload : (C.Iterator.summary_key * C.Iterator.summary) list;
+      (** daemon-resident summaries seeded into the request's session *)
+  w_strip_cache : bool;
+      (** the request did not ask for a cache: run with the resident
+          one but strip its counters from the report (byte parity) *)
+}
+
+(** The reply: a rendered report plus the deltas the daemon absorbs
+    (summary tables, metrics, trace events). *)
+type served = {
+  sv_report : string;  (** JSON report object, no trailing newline *)
+  sv_exit : int;
+  sv_alarms : int;
+  sv_fingerprint : string;
+  sv_degraded : bool;
+  sv_tables : (string * (C.Iterator.summary_key * C.Iterator.summary) list) list;
+  sv_metrics : Astree_obs.Metrics.snapshot;
+  sv_events : Astree_obs.Trace.event list;
+  sv_time : float;  (** seconds spent serving, compile included *)
+}
+
+type outcome = Served of served | Refused of string
+
+val serve : work -> outcome
+(** Run one request (in a pool worker): compile through the typed-IR
+    cache, analyze under the degradation governor with a fresh session
+    seeded from [w_preload], and package the report with its deltas.
+    Request-level failures come back as [Refused]; anything else
+    escapes and kills the worker (the pool reports a crash). *)

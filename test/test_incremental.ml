@@ -208,7 +208,6 @@ let with_cache_driver k =
   Fun.protect
     ~finally:(fun () ->
       C.Analysis.cache_driver := None;
-      C.Iterator.call_memo := None;
       C.Iterator.memo_min_stmts := min0)
     (fun () ->
       (* counter assertions (hits > 0, loaded > 0, misses = 0) only hold
@@ -420,6 +419,140 @@ let test_store_corruption () =
               write_file file "";
               check_degraded "empty")))
 
+(* concurrent multi-process writers (daemon pool workers, batch runs
+   sharing one cache directory) racing [Store.save] on the same key:
+   no interleaving may ever publish a torn file, and merge-on-save must
+   converge to the union of both writers' entries rather than letting
+   the last rename drop the other writer's work *)
+let store_magic = "astree-summary-store v3\n"
+
+(* the store format contract: magic header, then the MD5 of the payload,
+   then the payload.  Any complete file satisfies it; a torn or partial
+   publish cannot. *)
+let check_file_intact file =
+  if Sys.file_exists file then
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let hdr = really_input_string ic (String.length store_magic) in
+          Alcotest.(check string) "store magic intact" store_magic hdr;
+          let digest = really_input_string ic 16 in
+          let payload = In_channel.input_all ic in
+          Alcotest.(check bool)
+            "store digest covers payload" true
+            (Digest.string payload = digest))
+    with End_of_file -> Alcotest.fail "torn store file published"
+
+let test_store_racing_writers () =
+  with_mini_fbw (fun src ->
+      let p, _ = C.Analysis.compile [ ("mini_fbw.c", src) ] in
+      let cfg = C.Config.default in
+      (* harvest real summaries to race with: one cold cached run *)
+      let dir0 = Filename.temp_file "astree-race-seed" "" in
+      Sys.remove dir0;
+      let key = I.Fingerprint.program (I.Fingerprint.make cfg p) in
+      let entries =
+        Fun.protect
+          ~finally:(fun () ->
+            if Sys.file_exists dir0 then begin
+              Array.iter
+                (fun f -> Sys.remove (Filename.concat dir0 f))
+                (Sys.readdir dir0);
+              Sys.rmdir dir0
+            end)
+          (fun () ->
+            with_cache_driver (fun () ->
+                ignore
+                  (C.Analysis.analyze
+                     ~cfg:
+                       {
+                         cfg with
+                         C.Config.summary_cache = C.Config.Cache_dir dir0;
+                       }
+                     p);
+                I.Store.load ~dir:dir0 ~key))
+      in
+      if List.length entries < 2 then Alcotest.skip ();
+      (* split into two overlapping halves, one per writer process *)
+      let n = List.length entries in
+      let half_a = List.filteri (fun i _ -> i <= n / 2) entries in
+      let half_b = List.filteri (fun i _ -> i >= n / 2) entries in
+      let dir = Filename.temp_file "astree-race" "" in
+      Sys.remove dir;
+      let file = Filename.concat dir (key ^ ".summaries") in
+      Fun.protect
+        ~finally:(fun () ->
+          if Sys.file_exists dir then begin
+            Array.iter
+              (fun f -> Sys.remove (Filename.concat dir f))
+              (Sys.readdir dir);
+            Sys.rmdir dir
+          end)
+        (fun () ->
+          let writer half =
+            flush stdout;
+            flush stderr;
+            match Unix.fork () with
+            | 0 ->
+                let code =
+                  try
+                    Astree_robust.Faultsim.with_suppressed (fun () ->
+                        for _ = 1 to 40 do
+                          I.Store.save ~dir ~key half
+                        done);
+                    0
+                  with _ -> 1
+                in
+                Unix._exit code
+            | pid -> pid
+          in
+          let pid_a = writer half_a in
+          let pid_b = writer half_b in
+          (* watch the published file while the two writers race *)
+          let running = ref [ pid_a; pid_b ] in
+          let statuses = ref [] in
+          while !running <> [] do
+            check_file_intact file;
+            running :=
+              List.filter
+                (fun pid ->
+                  match Unix.waitpid [ Unix.WNOHANG ] pid with
+                  | 0, _ -> true
+                  | _, st ->
+                      statuses := st :: !statuses;
+                      false)
+                !running;
+            Unix.sleepf 0.002
+          done;
+          List.iter
+            (fun st ->
+              Alcotest.(check bool)
+                "writer exited cleanly" true
+                (st = Unix.WEXITED 0))
+            !statuses;
+          check_file_intact file;
+          let keys_of es = List.sort compare (List.map fst es) in
+          let union =
+            List.sort_uniq compare (List.map fst (half_a @ half_b))
+          in
+          (* whatever the race left behind is a coherent subset of the
+             union — never torn, never foreign *)
+          let after_race = keys_of (I.Store.load ~dir ~key) in
+          Alcotest.(check bool)
+            "race result within the union" true
+            (List.for_all (fun k -> List.mem k union) after_race);
+          Alcotest.(check bool) "race result non-empty" true
+            (after_race <> []);
+          (* one sequential save of each half must now converge to the
+             exact union, whichever writer won the race *)
+          I.Store.save ~dir ~key half_a;
+          I.Store.save ~dir ~key half_b;
+          Alcotest.(check bool)
+            "merge-on-save converges to the union" true
+            (keys_of (I.Store.load ~dir ~key) = union)))
+
 (* every example in the repository: warm, cold and cache-less runs must
    agree on the result fingerprint (alarms + census + final state) *)
 let test_warm_all_examples () =
@@ -473,4 +606,6 @@ let suite =
       test_warm_all_examples;
     Alcotest.test_case "store: corrupt files degrade to cold" `Quick
       test_store_corruption;
+    Alcotest.test_case "store: racing writers never tear" `Quick
+      test_store_racing_writers;
   ]

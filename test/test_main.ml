@@ -28,4 +28,5 @@ let () =
       ("incremental", Test_incremental.suite);
       ("soundness", Test_soundness.suite);
       ("robust", Test_robust.suite);
+      ("server", Test_server.suite);
     ]

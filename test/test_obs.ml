@@ -274,7 +274,6 @@ let with_cache_driver k =
   Fun.protect
     ~finally:(fun () ->
       C.Analysis.cache_driver := None;
-      C.Iterator.call_memo := None;
       C.Iterator.memo_min_stmts := min0)
     (fun () -> Astree_robust.Faultsim.with_suppressed k)
 

@@ -227,20 +227,18 @@ let test_hook_all_lost () =
           in
           let seq = C.Analysis.analyze ~cfg p in
           let dispatched = ref 0 in
-          C.Iterator.par_hook :=
+          let ses = C.Transfer.new_session () in
+          ses.C.Transfer.ses_par_hook <-
             Some
               (fun jobs ->
                 dispatched := !dispatched + List.length jobs;
                 List.map (fun _ -> None) jobs);
-          Fun.protect
-            ~finally:(fun () -> C.Iterator.par_hook := None)
-            (fun () ->
-              let par = C.Analysis.analyze ~cfg p in
-              Alcotest.(check bool)
-                "the iterator did dispatch jobs" true (!dispatched > 0);
-              Alcotest.(check string)
-                "fallback result identical"
-                (P.Merge.fingerprint seq) (P.Merge.fingerprint par))))
+          let par = C.Analysis.analyze ~session:ses ~cfg p in
+          Alcotest.(check bool)
+            "the iterator did dispatch jobs" true (!dispatched > 0);
+          Alcotest.(check string)
+            "fallback result identical"
+            (P.Merge.fingerprint seq) (P.Merge.fingerprint par)))
 
 (* every worker self-kills on its first job (ASTREE_PAR_CHAOS): the
    crash -> respawn -> retry -> in-process-fallback ladder must still

@@ -87,7 +87,6 @@ let with_cache_driver k =
   Fun.protect
     ~finally:(fun () ->
       C.Analysis.cache_driver := None;
-      C.Iterator.call_memo := None;
       C.Iterator.memo_min_stmts := min0)
     k
 
@@ -130,12 +129,10 @@ let test_tick_hook_fires () =
   | Some src ->
       let p, _ = C.Analysis.compile [ ("mini_fbw.c", src) ] in
       let ticks = ref 0 in
-      C.Iterator.tick_hook := (fun () -> incr ticks);
-      Fun.protect
-        ~finally:(fun () -> C.Iterator.tick_hook := (fun () -> ()))
-        (fun () ->
-          ignore (C.Analysis.analyze p);
-          Alcotest.(check bool) "hook called during analysis" true (!ticks > 0))
+      let ses = C.Transfer.new_session () in
+      ses.C.Transfer.ses_tick_hook <- Some (fun () -> incr ticks);
+      ignore (C.Analysis.analyze ~session:ses p);
+      Alcotest.(check bool) "hook called during analysis" true (!ticks > 0)
 
 (* ---------------- degradation ladder soundness ---------------- *)
 

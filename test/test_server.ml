@@ -1,0 +1,536 @@
+(* Analysis-server tests: protocol round-trips, client-vs-in-process
+   byte parity, concurrent requests under different configurations,
+   admission control (queue-full shedding), fault-injected worker
+   crashes, and graceful drain on shutdown.
+
+   Each test forks a real daemon on a private socket and talks to it
+   over the wire — the same code path [astree --connect] uses. *)
+
+module C = Astree_core
+module F = Astree_frontend
+module R = Astree_robust
+module Srv = Astree_server
+
+(* ---- programs ---------------------------------------------------- *)
+
+(* call-heavy: function summaries make a warm re-analysis cheap *)
+let prog_calls =
+  "static int lag(int x, int u) {\n\
+  \  if (x < u) x = x + 1;\n\
+  \  if (x > u) x = x - 1;\n\
+  \  return x;\n\
+   }\n\
+   int main(void) {\n\
+  \  int a = 0;\n\
+  \  int b = 0;\n\
+  \  int c = 0;\n\
+  \  while (1) {\n\
+  \    a = lag(a, 50);\n\
+  \    b = lag(b, 80);\n\
+  \    c = lag(c, 20);\n\
+  \    __astree_wait_for_clock();\n\
+  \  }\n\
+  \  return 0;\n\
+   }\n"
+
+(* raises an overflow alarm: exercises alarm + provenance rendering *)
+let prog_alarm =
+  "int main(void) {\n\
+  \  int x = 2147483600;\n\
+  \  while (1) {\n\
+  \    x = x + 100;\n\
+  \    __astree_wait_for_clock();\n\
+  \  }\n\
+  \  return 0;\n\
+   }\n"
+
+let prog_simple =
+  "int main(void) {\n\
+  \  int x = 0;\n\
+  \  while (1) {\n\
+  \    if (x < 100) x = x + 1;\n\
+  \    __astree_wait_for_clock();\n\
+  \  }\n\
+  \  return 0;\n\
+   }\n"
+
+(* ---- helpers ----------------------------------------------------- *)
+
+let fresh_socket () =
+  let path = Filename.temp_file "astreed-test" ".sock" in
+  Sys.remove path;
+  path
+
+let wait_for_daemon sock =
+  let rec go n =
+    if n = 0 then Alcotest.fail "daemon did not come up"
+    else
+      match Srv.Client.try_connect sock with
+      | Some fd -> Srv.Client.close fd
+      | None ->
+          Unix.sleepf 0.05;
+          go (n - 1)
+  in
+  go 100
+
+(* Fork a daemon on a private socket; [faults] are armed in the child
+   before it starts (inherited by its pool workers).  The body gets the
+   socket path; the daemon is SIGTERMed and reaped afterwards. *)
+let with_daemon ?(workers = 2) ?(queue = 8) ?(grace = 10.) ?(faults = [])
+    ?(hang = 3600.) (k : string -> unit) : unit =
+  let sock = fresh_socket () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (* daemon process: never return into the test runner *)
+      R.Faultsim.hang_seconds := hang;
+      if faults <> [] then R.Faultsim.install ~seed:42 faults;
+      let code =
+        try
+          Srv.Daemon.run
+            {
+              Srv.Daemon.default with
+              Srv.Daemon.d_socket = sock;
+              d_workers = workers;
+              d_queue_depth = queue;
+              d_grace = grace;
+            }
+        with _ -> 1
+      in
+      Unix._exit code
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          if Sys.file_exists sock then Sys.remove sock)
+        (fun () ->
+          wait_for_daemon sock;
+          k sock)
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "protocol failure: %s" e
+
+let send_analyze ?(id = 1) ?(options = Srv.Service.default_options)
+    ?(sources = [ ("t.c", prog_simple) ]) fd =
+  ok_exn
+    (Srv.Client.send fd
+       (Srv.Client.analyze_request ~id ~sources ~main:"main" ~options ()))
+
+(* what a one-shot [astree --format json] prints for these sources *)
+let in_process_report ?(options = Srv.Service.default_options) sources :
+    string * int =
+  let cfg = Srv.Service.config_of options ~sources in
+  let p, _ = C.Analysis.compile ~main:"main" sources in
+  let r = R.Degrade.analyze ~cfg p in
+  (Srv.Report.render r, Srv.Report.exit_code r)
+
+(* blank the volatile "time" statistic; everything else must be
+   byte-identical between client mode and in-process *)
+let scrub_time (s : string) : string =
+  let marker = "\"time\": " in
+  let mlen = String.length marker in
+  let n = String.length s in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + mlen <= n && String.sub s !i mlen = marker then begin
+      Buffer.add_string b marker;
+      Buffer.add_char b 'T';
+      i := !i + mlen;
+      while
+        !i < n
+        &&
+        match s.[!i] with
+        | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+        | _ -> false
+      do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* ---- json codec -------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      "null";
+      "true";
+      "[1, 2.5, -3, \"x\"]";
+      "{\"a\": [], \"b\": {\"c\": false}}";
+      "\"quote \\\" backslash \\\\ newline \\n tab \\t\"";
+      "{\"id\": 7, \"verb\": \"analyze\"}";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Srv.Json.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok v -> (
+          (* print-parse round-trip is the identity *)
+          match Srv.Json.parse (Srv.Json.to_string v) with
+          | Error e -> Alcotest.failf "reparse %s: %s" s e
+          | Ok v' ->
+              Alcotest.(check bool) ("roundtrip " ^ s) true (v = v')))
+    cases;
+  (match Srv.Json.parse "\"\\u00e9\\ud83d\\ude00\"" with
+  | Ok (Srv.Json.Str s) ->
+      Alcotest.(check string) "utf-8 decoding" "\xc3\xa9\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "unicode escapes");
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        ("rejects " ^ bad) true
+        (Result.is_error (Srv.Json.parse bad)))
+    [ "{"; "[1,"; "\"open"; "nul"; "1 2"; "{\"a\" 1}" ]
+
+let test_options_roundtrip () =
+  let o =
+    {
+      Srv.Service.default_options with
+      Srv.Service.o_no_oct = true;
+      o_unroll = 3;
+      o_partition = [ "f"; "g" ];
+      o_useful_packs = [ 1; 4 ];
+      o_timeout = 2.5;
+      o_cache = `Dir "/tmp/c";
+    }
+  in
+  let o' = Srv.Service.options_of_json (Srv.Service.options_to_json o) in
+  Alcotest.(check bool) "options wire round-trip" true (o = o');
+  let d =
+    Srv.Service.options_of_json (Srv.Service.options_to_json
+                                   Srv.Service.default_options)
+  in
+  Alcotest.(check bool) "defaults round-trip" true
+    (d = Srv.Service.default_options)
+
+(* ---- protocol round-trips ---------------------------------------- *)
+
+let test_verbs () =
+  with_daemon (fun sock ->
+      (* status *)
+      let rep =
+        ok_exn
+          (Srv.Client.request sock
+             (Srv.Json.Obj
+                [ ("verb", Srv.Json.Str "status"); ("id", Srv.Json.Num 5.) ]))
+      in
+      Alcotest.(check string) "status ok" "ok" rep.Srv.Client.r_status;
+      (match Srv.Json.parse rep.Srv.Client.r_line with
+      | Ok j ->
+          let server = Srv.Json.member "server" j in
+          Alcotest.(check (option int))
+            "status id echoed" (Some 5)
+            (Srv.Json.to_int (Srv.Json.member "id" j));
+          Alcotest.(check bool)
+            "status has workers" true
+            (Srv.Json.to_int (Srv.Json.member "workers" server) = Some 2)
+      | Error e -> Alcotest.failf "status reply unparsable: %s" e);
+      (* metrics *)
+      let rep =
+        ok_exn
+          (Srv.Client.request sock
+             (Srv.Json.Obj [ ("verb", Srv.Json.Str "metrics") ]))
+      in
+      Alcotest.(check string) "metrics ok" "ok" rep.Srv.Client.r_status;
+      Alcotest.(check bool)
+        "metrics carries the registry" true
+        (match Srv.Json.parse rep.Srv.Client.r_line with
+        | Ok j ->
+            Srv.Json.member "counters" (Srv.Json.member "metrics" j)
+            <> Srv.Json.Null
+        | Error _ -> false);
+      (* analyze *)
+      let fd = Option.get (Srv.Client.try_connect sock) in
+      Fun.protect
+        ~finally:(fun () -> Srv.Client.close fd)
+        (fun () ->
+          send_analyze ~id:9 fd;
+          let line = ok_exn (Srv.Client.read_reply (Srv.Client.reader fd)) in
+          let rep = Srv.Client.decode line in
+          Alcotest.(check string) "analyze ok" "ok" rep.Srv.Client.r_status;
+          Alcotest.(check bool)
+            "analyze has a report" true
+            (rep.Srv.Client.r_report <> None);
+          Alcotest.(check int) "clean program exits 0" 0
+            rep.Srv.Client.r_exit);
+      (* errors: unknown verb, malformed json, missing sources *)
+      let rep =
+        ok_exn
+          (Srv.Client.request sock
+             (Srv.Json.Obj [ ("verb", Srv.Json.Str "explode") ]))
+      in
+      Alcotest.(check string) "unknown verb" "error" rep.Srv.Client.r_status;
+      let fd = Option.get (Srv.Client.try_connect sock) in
+      Fun.protect
+        ~finally:(fun () -> Srv.Client.close fd)
+        (fun () ->
+          let rep =
+            Srv.Client.decode (ok_exn (Srv.Client.roundtrip fd "not json"))
+          in
+          Alcotest.(check string) "malformed request" "error"
+            rep.Srv.Client.r_status);
+      let rep =
+        ok_exn
+          (Srv.Client.request sock
+             (Srv.Json.Obj [ ("verb", Srv.Json.Str "analyze") ]))
+      in
+      Alcotest.(check string) "analyze without sources" "error"
+        rep.Srv.Client.r_status;
+      (* a parse error is a per-request error, not a crash *)
+      let rep =
+        ok_exn
+          (Srv.Client.request sock
+             (Srv.Json.parse
+                (Srv.Client.analyze_request
+                   ~sources:[ ("bad.c", "int main( {") ]
+                   ~main:"main" ~options:Srv.Service.default_options ())
+             |> Result.get_ok))
+      in
+      Alcotest.(check string) "parse error refused" "error"
+        rep.Srv.Client.r_status;
+      (* shutdown verb: ok reply, then the daemon exits and unlinks *)
+      let rep =
+        ok_exn
+          (Srv.Client.request sock
+             (Srv.Json.Obj [ ("verb", Srv.Json.Str "shutdown") ]))
+      in
+      Alcotest.(check string) "shutdown ok" "ok" rep.Srv.Client.r_status;
+      let rec wait_gone n =
+        if Sys.file_exists sock && n > 0 then begin
+          Unix.sleepf 0.05;
+          wait_gone (n - 1)
+        end
+      in
+      wait_gone 100;
+      Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock))
+
+(* ---- byte parity ------------------------------------------------- *)
+
+let test_client_parity () =
+  let programs =
+    [ ("simple.c", prog_simple); ("calls.c", prog_calls);
+      ("alarm.c", prog_alarm) ]
+  in
+  with_daemon (fun sock ->
+      List.iter
+        (fun (name, src) ->
+          let sources = [ (name, src) ] in
+          let expected, expected_exit = in_process_report sources in
+          (* twice: the second request runs against the warm resident
+             caches and must still render the same bytes *)
+          List.iter
+            (fun round ->
+              let fd = Option.get (Srv.Client.try_connect sock) in
+              Fun.protect
+                ~finally:(fun () -> Srv.Client.close fd)
+                (fun () ->
+                  send_analyze ~sources fd;
+                  let line =
+                    ok_exn (Srv.Client.read_reply (Srv.Client.reader fd))
+                  in
+                  let rep = Srv.Client.decode line in
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s round %d ok" name round)
+                    "ok" rep.Srv.Client.r_status;
+                  Alcotest.(check int)
+                    (Printf.sprintf "%s round %d exit" name round)
+                    expected_exit rep.Srv.Client.r_exit;
+                  match rep.Srv.Client.r_report with
+                  | None -> Alcotest.fail "reply without report"
+                  | Some report ->
+                      Alcotest.(check string)
+                        (Printf.sprintf "%s round %d byte parity" name round)
+                        (scrub_time expected) (scrub_time report)))
+            [ 1; 2 ])
+        programs)
+
+(* ---- concurrency ------------------------------------------------- *)
+
+let test_concurrent_configs () =
+  (* different configurations in flight at once — including the
+     degradation governor armed on one of them — must each match their
+     sequential one-shot *)
+  let variants =
+    [
+      Srv.Service.default_options;
+      { Srv.Service.default_options with Srv.Service.o_no_oct = true };
+      (* a generous budget arms the watchdog ladder without tripping *)
+      { Srv.Service.default_options with Srv.Service.o_timeout = 300. };
+    ]
+  in
+  let sources = [ ("calls.c", prog_calls) ] in
+  let expected =
+    List.map (fun options -> in_process_report ~options sources) variants
+  in
+  with_daemon ~workers:3 (fun sock ->
+      let conns =
+        List.mapi
+          (fun i options ->
+            let fd = Option.get (Srv.Client.try_connect sock) in
+            send_analyze ~id:i ~options ~sources fd;
+            (fd, Srv.Client.reader fd))
+          variants
+      in
+      List.iteri
+        (fun i ((fd, reader), (want_report, want_exit)) ->
+          Fun.protect
+            ~finally:(fun () -> Srv.Client.close fd)
+            (fun () ->
+              let rep = Srv.Client.decode (ok_exn (Srv.Client.read_reply reader)) in
+              Alcotest.(check string)
+                (Printf.sprintf "variant %d ok" i)
+                "ok" rep.Srv.Client.r_status;
+              Alcotest.(check int)
+                (Printf.sprintf "variant %d exit" i)
+                want_exit rep.Srv.Client.r_exit;
+              Alcotest.(check string)
+                (Printf.sprintf "variant %d equals its one-shot" i)
+                (scrub_time want_report)
+                (scrub_time (Option.get rep.Srv.Client.r_report))))
+        (List.combine conns expected))
+
+(* ---- admission control ------------------------------------------- *)
+
+let test_queue_full_shed () =
+  (* one worker, no queue; the worker is held busy by an injected hang,
+     so a pipelined second request must be shed immediately *)
+  with_daemon ~workers:1 ~queue:0 ~hang:0.8
+    ~faults:[ (R.Faultsim.Worker_hang, 1.0) ]
+    (fun sock ->
+      let fd = Option.get (Srv.Client.try_connect sock) in
+      Fun.protect
+        ~finally:(fun () -> Srv.Client.close fd)
+        (fun () ->
+          send_analyze ~id:1 fd;
+          (* give the event loop time to hand request 1 to the worker *)
+          Unix.sleepf 0.2;
+          send_analyze ~id:2 fd;
+          let reader = Srv.Client.reader fd in
+          let first = Srv.Client.decode (ok_exn (Srv.Client.read_reply reader)) in
+          let second = Srv.Client.decode (ok_exn (Srv.Client.read_reply reader)) in
+          (* the shed reply overtakes the in-flight one *)
+          Alcotest.(check string) "request 2 shed" "shed"
+            first.Srv.Client.r_status;
+          Alcotest.(check (option string))
+            "shed names the queue" (Some "queue full")
+            first.Srv.Client.r_error;
+          Alcotest.(check string) "request 1 still served" "ok"
+            second.Srv.Client.r_status))
+
+(* ---- fault injection --------------------------------------------- *)
+
+let test_worker_crash () =
+  (* every worker self-kills on job receipt: the request fails with a
+     per-request error and the daemon survives to answer status *)
+  with_daemon ~workers:1 ~faults:[ (R.Faultsim.Worker_crash, 1.0) ]
+    (fun sock ->
+      let fd = Option.get (Srv.Client.try_connect sock) in
+      Fun.protect
+        ~finally:(fun () -> Srv.Client.close fd)
+        (fun () ->
+          send_analyze fd;
+          let rep =
+            Srv.Client.decode
+              (ok_exn (Srv.Client.read_reply (Srv.Client.reader fd)))
+          in
+          Alcotest.(check string) "crash is a request error" "error"
+            rep.Srv.Client.r_status;
+          Alcotest.(check bool)
+            "error names the crash" true
+            (match rep.Srv.Client.r_error with
+            | Some m ->
+                (* substring check *)
+                let has_sub s sub =
+                  let n = String.length s and m' = String.length sub in
+                  let rec go i =
+                    i + m' <= n
+                    && (String.sub s i m' = sub || go (i + 1))
+                  in
+                  go 0
+                in
+                has_sub m "crash"
+            | None -> false));
+      let rep =
+        ok_exn
+          (Srv.Client.request sock
+             (Srv.Json.Obj [ ("verb", Srv.Json.Str "status") ]))
+      in
+      Alcotest.(check string) "daemon alive after crash" "ok"
+        rep.Srv.Client.r_status)
+
+(* ---- graceful shutdown ------------------------------------------- *)
+
+let test_shutdown_drains () =
+  (* worker 1 is busy (hang), request 2 queued; shutdown must answer
+     ok, tell the queued client shutting_down, and still deliver the
+     in-flight reply before exiting *)
+  with_daemon ~workers:1 ~queue:8 ~hang:0.8
+    ~faults:[ (R.Faultsim.Worker_hang, 1.0) ]
+    (fun sock ->
+      let fd = Option.get (Srv.Client.try_connect sock) in
+      Fun.protect
+        ~finally:(fun () -> Srv.Client.close fd)
+        (fun () ->
+          send_analyze ~id:1 fd;
+          Unix.sleepf 0.2;
+          send_analyze ~id:2 fd;
+          Unix.sleepf 0.1;
+          ok_exn
+            (Srv.Client.send fd
+               (Srv.Json.to_string
+                  (Srv.Json.Obj
+                     [ ("verb", Srv.Json.Str "shutdown");
+                       ("id", Srv.Json.Num 3.) ])));
+          let reader = Srv.Client.reader fd in
+          let shutdown_ack =
+            Srv.Client.decode (ok_exn (Srv.Client.read_reply reader))
+          in
+          let queued =
+            Srv.Client.decode (ok_exn (Srv.Client.read_reply reader))
+          in
+          let inflight =
+            Srv.Client.decode (ok_exn (Srv.Client.read_reply reader))
+          in
+          Alcotest.(check string) "shutdown acknowledged" "ok"
+            shutdown_ack.Srv.Client.r_status;
+          Alcotest.(check string) "queued request told shutting_down"
+            "shutting_down" queued.Srv.Client.r_status;
+          Alcotest.(check string) "in-flight request drained" "ok"
+            inflight.Srv.Client.r_status);
+      let rec wait_gone n =
+        if Sys.file_exists sock && n > 0 then begin
+          Unix.sleepf 0.05;
+          wait_gone (n - 1)
+        end
+      in
+      wait_gone 100;
+      Alcotest.(check bool) "socket unlinked after drain" false
+        (Sys.file_exists sock))
+
+let suite =
+  [
+    Alcotest.test_case "json codec round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "options wire round-trip" `Quick
+      test_options_roundtrip;
+    Alcotest.test_case "every verb round-trips" `Quick test_verbs;
+    Alcotest.test_case "client parity with in-process" `Slow
+      test_client_parity;
+    Alcotest.test_case "concurrent configs match one-shots" `Slow
+      test_concurrent_configs;
+    Alcotest.test_case "queue-full requests are shed" `Quick
+      test_queue_full_shed;
+    Alcotest.test_case "worker crash is a request error" `Quick
+      test_worker_crash;
+    Alcotest.test_case "shutdown drains in-flight work" `Quick
+      test_shutdown_drains;
+  ]
