@@ -1219,6 +1219,76 @@ let e15 ~quick () =
            level_json))
 
 (* ------------------------------------------------------------------ *)
+(* E16 - multi-task interference fixpoint                               *)
+(* ------------------------------------------------------------------ *)
+
+let e16 ~quick () =
+  section
+    "E16: multi-task interference fixpoint (lib/concurrency)\n\
+     claims checked: the outer rely/guarantee iteration converges in\n\
+     <= 5 rounds on generated multi-task members; dispatching the\n\
+     per-task analyses to the pool (-j 4) reproduces the -j 1\n\
+     fingerprint exactly and, on a multi-core machine, runs >= 1.5x\n\
+     faster on a 4-task member";
+  let cores = P.Scheduler.default_jobs () in
+  Fmt.pr "cores available: %d@." cores;
+  let tasks_n = 4 in
+  let g =
+    G.Generator.generate_tasks
+      {
+        G.Generator.default with
+        G.Generator.seed = 16;
+        target_lines = (if quick then 1500 else 4000);
+        bug_ratio = 0.25;
+      }
+      ~tasks:tasks_n
+  in
+  let p, _ =
+    C.Analysis.compile [ ("member.c", g.G.Generator.source) ]
+  in
+  let tasks = g.G.Generator.task_fns in
+  let conc = Astree_conc.Fixpoint.analyze ~tasks in
+  let r1, t1 = time (fun () -> conc ~cfg:C.Config.default p) in
+  let r4, t4 =
+    time (fun () ->
+        conc ~cfg:{ C.Config.default with C.Config.jobs = 4 } p)
+  in
+  let fp1 = P.Merge.fingerprint r1.Astree_conc.Fixpoint.c_result in
+  let fp4 = P.Merge.fingerprint r4.Astree_conc.Fixpoint.c_result in
+  let rounds = r1.Astree_conc.Fixpoint.c_rounds in
+  let stabilized =
+    r1.Astree_conc.Fixpoint.c_stabilized
+    && r4.Astree_conc.Fixpoint.c_stabilized
+  in
+  let speedup = t1 /. t4 in
+  Fmt.pr
+    "@.%d tasks, %d shared variables, ~%.1f kLOC member (%d alarms)@."
+    tasks_n
+    (List.length r1.Astree_conc.Fixpoint.c_shared)
+    (float_of_int g.G.Generator.n_lines /. 1000.)
+    (C.Analysis.n_alarms r1.Astree_conc.Fixpoint.c_result);
+  Fmt.pr "rounds: %d (stabilized: %b, <= 5: %b)@." rounds stabilized
+    (rounds <= 5);
+  Fmt.pr "%6s %10s %9s@." "jobs" "time(s)" "speedup";
+  Fmt.pr "%6d %10.2f %9s@." 1 t1 "1.00x";
+  Fmt.pr "%6d %10.2f %8.2fx@." 4 t4 speedup;
+  Fmt.pr "fingerprints identical: %b   speedup >= 1.5x: %b%s@."
+    (fp1 = fp4) (speedup >= 1.5)
+    (if cores < 4 then
+       Fmt.str " (only %d cores: speedup not expected here)" cores
+     else "");
+  json_record "e16"
+    (Printf.sprintf
+       "{\"quick\": %b, \"cores\": %d, \"tasks\": %d, \"shared_vars\": %d, \
+        \"lines\": %d, \"rounds\": %d, \"stabilized\": %b, \
+        \"rounds_le_5\": %b, \"t_j1\": %.4f, \"t_j4\": %.4f, \"speedup\": \
+        %.3f, \"speedup_ge_1_5x\": %b, \"conc_fingerprint_identical\": %b}"
+       quick cores tasks_n
+       (List.length r1.Astree_conc.Fixpoint.c_shared)
+       g.G.Generator.n_lines rounds stabilized (rounds <= 5) t1 t4 speedup
+       (speedup >= 1.5) (fp1 = fp4))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1352,6 +1422,7 @@ let () =
   if want "e13" then e13 ~quick ();
   if want "e14" then e14 ~quick ();
   if want "e15" then e15 ~quick ();
+  if want "e16" then e16 ~quick ();
   if want "micro" then micro ();
   (match json_path with Some path -> json_write path | None -> ());
   Fmt.pr "@.done.@."

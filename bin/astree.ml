@@ -15,6 +15,7 @@ module C = Astree_core
 module F = Astree_frontend
 module S = Astree_slicer
 module Srv = Astree_server
+module Conc = Astree_conc
 open Cmdliner
 
 let read_file path =
@@ -25,13 +26,13 @@ let read_file path =
 
 (* JSON rendering is shared with the daemon workers (Astree_server.Report)
    so client-mode and in-process output are byte-identical *)
-let print_json ?metrics (r : C.Analysis.result) : unit =
-  print_string (Srv.Report.render ?metrics r ^ "\n")
+let print_json ?metrics ?interference (r : C.Analysis.result) : unit =
+  print_string (Srv.Report.render ?metrics ?interference r ^ "\n")
 
-let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
-    partitioned max_dt_bools useful_packs jobs cache_dir cache_mem no_cache
-    timeout max_mem connect format dump_invariants dump_census slice_alarms
-    profile trace_file metrics_file explain verbose =
+let run files main tasks_opt no_oct no_ell no_dt no_clock no_lin no_thresholds
+    unroll partitioned max_dt_bools useful_packs jobs cache_dir cache_mem
+    no_cache timeout max_mem connect format dump_invariants dump_census
+    slice_alarms profile trace_file metrics_file explain verbose =
   if files = [] then `Error (false, "no input files")
   else
     try
@@ -76,12 +77,40 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
         }
       in
       let sources = List.map (fun f -> (f, read_file f)) files in
+      (* task entry points: --tasks wins; otherwise the astree-task
+         markers of the sources, in document order (first occurrence) *)
+      let tasks =
+        if tasks_opt <> [] then tasks_opt
+        else
+          let seen = Hashtbl.create 8 in
+          List.concat_map (fun (_, src) -> F.Preproc.task_markers src) sources
+          |> List.filter (fun t ->
+                 if Hashtbl.mem seen t then false
+                 else begin
+                   Hashtbl.replace seen t ();
+                   true
+                 end)
+      in
+      let multi_task = List.compare_length_with tasks 1 > 0 in
       let in_process () =
         if jobs > 1 then Astree_parallel.Scheduler.register ();
         let cfg = Srv.Service.config_of options ~sources in
         if C.Config.cache_enabled cfg then Astree_incremental.Summary.register ();
         let p, _stats = C.Analysis.compile ~main sources in
-        let r = Astree_robust.Degrade.analyze ~cfg p in
+        let r, interference =
+          if multi_task then begin
+            let cr = Conc.Fixpoint.analyze ~cfg ~tasks p in
+            ( cr.Conc.Fixpoint.c_result,
+              Some
+                {
+                  Srv.Report.i_tasks = List.length tasks;
+                  i_rounds = cr.Conc.Fixpoint.c_rounds;
+                  i_stabilized = cr.Conc.Fixpoint.c_stabilized;
+                  i_shared = List.length cr.Conc.Fixpoint.c_shared;
+                } )
+          end
+          else (Astree_robust.Degrade.analyze ~cfg p, None)
+        in
         (match metrics_file with
         | None -> ()
         | Some f ->
@@ -90,13 +119,23 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
             output_char oc '\n';
             close_out oc);
         (match format with
-        | `Json -> print_json ~metrics:(metrics_file <> None) r
+        | `Json -> print_json ~metrics:(metrics_file <> None) ?interference r
         | `Text ->
             (* cache counters are a --verbose detail of the text report:
                default output stays byte-identical to the cache-less
                analyzer (JSON always carries them) *)
             let r = if verbose then r else Srv.Report.strip_cache r in
             Fmt.pr "%a@." C.Analysis.pp_result r;
+            (match interference with
+            | None -> ()
+            | Some i ->
+                Fmt.pr
+                  "interference fixpoint: %d tasks, %d shared variables, %d \
+                   rounds%s@."
+                  i.Srv.Report.i_tasks i.Srv.Report.i_shared
+                  i.Srv.Report.i_rounds
+                  (if i.Srv.Report.i_stabilized then ""
+                   else " (round budget hit: everything-top fallback)"));
             if explain && r.C.Analysis.r_alarms <> [] then begin
               Fmt.pr "--- alarm provenance ---@.";
               List.iter
@@ -140,6 +179,13 @@ let run files main no_oct no_ell no_dt no_clock no_lin no_thresholds unroll
         || trace_file <> None || metrics_file <> None
       in
       (match connect with
+      | Some _ when multi_task ->
+          (* the daemon's one-request = one-analysis worker model does
+             not fit the interference fixpoint; it would refuse anyway *)
+          prerr_endline
+            "astree: multi-task programs are analyzed in-process (the \
+             daemon does not serve the interference fixpoint)";
+          in_process ()
       | Some sock when format = `Json && not local_only -> (
           match Srv.Client.try_connect sock with
           | None ->
@@ -215,6 +261,7 @@ let cmd =
     Term.(
       ret
         (const run $ files_arg $ main_arg
+        $ Arg.(value & opt (list string) [] & info [ "tasks" ] ~docv:"FN,..." ~doc:"Analyze as a multi-task program with these entry points (interference fixpoint); default: the $(b,astree-task) markers of the sources")
         $ flag "no-octagons" "Disable the octagon domain (Sect. 6.2.2)"
         $ flag "no-ellipsoids" "Disable the ellipsoid domain (Sect. 6.2.3)"
         $ flag "no-decision-trees" "Disable decision trees (Sect. 6.2.4)"

@@ -1,30 +1,40 @@
 (* Emit a member of the synthetic program family to a file (or stdout).
 
-   Usage: genfamily --kloc 5 --seed 42 -o program.c *)
+   Usage: genfamily --kloc 5 --seed 42 -o program.c
+          genfamily --kloc 2 --tasks 4 --bugs 0.5 -o multi.c *)
 
 module G = Astree_gen
 open Cmdliner
 
-let run kloc seed bug_ratio fuse output =
-  let g =
-    G.Generator.generate
-      {
-        G.Generator.seed;
-        target_lines = int_of_float (kloc *. 1000.0);
-        mix = G.Shapes.all_safe_kinds;
-        bug_ratio;
-        fuse;
-      }
+let run kloc seed bug_ratio fuse tasks output =
+  let cfg =
+    {
+      G.Generator.seed;
+      target_lines = int_of_float (kloc *. 1000.0);
+      mix = G.Shapes.all_safe_kinds;
+      bug_ratio;
+      fuse;
+    }
   in
-  (match output with
-  | None -> print_string g.G.Generator.source
-  | Some path ->
-      let oc = open_out path in
-      output_string oc g.G.Generator.source;
-      close_out oc;
-      Fmt.pr "wrote %s: %d lines, %d shapes@." path g.G.Generator.n_lines
-        g.G.Generator.n_shapes);
-  `Ok 0
+  if tasks = 1 || tasks < 0 then
+    `Error (false, "--tasks needs at least 2 task functions (or 0 for none)")
+  else
+    let g =
+      if tasks >= 2 then G.Generator.generate_tasks cfg ~tasks
+      else G.Generator.generate cfg
+    in
+    (match output with
+    | None -> print_string g.G.Generator.source
+    | Some path ->
+        let oc = open_out path in
+        output_string oc g.G.Generator.source;
+        close_out oc;
+        Fmt.pr "wrote %s: %d lines, %d shapes%s@." path g.G.Generator.n_lines
+          g.G.Generator.n_shapes
+          (match g.G.Generator.task_fns with
+          | [] -> ""
+          | ts -> Fmt.str ", %d tasks" (List.length ts)));
+    `Ok 0
 
 let cmd =
   let doc = "generate synthetic periodic synchronous control programs" in
@@ -43,6 +53,16 @@ let cmd =
                 ~doc:
                   "Shapes per top-level function (>1 groups shapes into \
                    large stage functions)")
+        $ Arg.(
+            value
+            & opt int 0
+            & info [ "tasks" ]
+                ~doc:
+                  "Generate a multi-task member with this many task \
+                   functions sharing ring channels (recorded in an \
+                   astree-task marker); with --bugs, some channel \
+                   producers are racy.  0 generates the sequential \
+                   family")
         $ Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file")))
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,36 @@
+(** Outer interference fixpoint for multi-task programs: iterate the
+    sequential analysis of every task under the other tasks' collected
+    shared-cell writes (the rely) until the write maps stabilize, then
+    report the union of the stable round's alarms. *)
+
+module C = Astree_core
+module F = Astree_frontend
+
+(** Round budget before the everything-top fallback round (default 8,
+    exposed for tests). *)
+val max_rounds : int ref
+
+(** Rounds of plain interference-map join before widening kicks in
+    (default 2, exposed for tests). *)
+val widen_delay : int ref
+
+type t = {
+  c_result : C.Analysis.result;
+      (** combined: merged alarms, joined final state, combined context
+          with merged invariants, aggregate statistics *)
+  c_tasks : string list;
+  c_shared : string list;  (** shared-variable names, sorted *)
+  c_rounds : int;          (** analysis rounds run (each = all tasks) *)
+  c_stabilized : bool;
+      (** false only when the round budget forced the everything-top
+          fallback round (still sound, maximally coarse) *)
+}
+
+(** Analyze [p] as a multi-task program with the given entry points.
+    [cfg.jobs > 1] dispatches per-task runs to a process pool; results
+    are identical to the sequential run.  The summary cache, when
+    enabled, is attached per task run with the rely digest folded into
+    its keys.
+    @raise Invalid_argument on fewer than two tasks, unknown task
+    names, or tasks taking parameters. *)
+val analyze : ?cfg:C.Config.t -> tasks:string list -> F.Tast.program -> t

@@ -1,0 +1,75 @@
+(** Differential concrete-interleaving oracle.
+
+    Ground truth for the interference fixpoint: execute the multi-task
+    program under many seeded, sequentially-consistent interleavings
+    (statement-level atomicity, matching the abstract semantics) and
+    collect every runtime error observed.  Soundness demands that each
+    observed error be covered by a reported alarm of the same kind at
+    the same location — the oracle can only ever refute the analyzer,
+    never validate unsound silence on schedules it did not draw. *)
+
+module C = Astree_core
+module F = Astree_frontend
+
+(* The LCG of the sequential soundness suite, reused for inputs and
+   scheduling so oracle runs are reproducible from one integer seed. *)
+let lcg (seed : int) : unit -> int =
+  let state = ref (if seed = 0 then 1 else seed) in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+
+let input_of_seed (seed : int) : F.Tast.input_spec -> float =
+  let next = lcg seed in
+  fun (spec : F.Tast.input_spec) ->
+    let u = float_of_int (next ()) /. float_of_int 0x3FFFFFFF in
+    let v =
+      spec.F.Tast.in_lo +. (u *. (spec.F.Tast.in_hi -. spec.F.Tast.in_lo))
+    in
+    if F.Ctypes.is_integer spec.F.Tast.in_var.F.Tast.v_ty then Float.round v
+    else v
+
+let schedule_of_seed (seed : int) : live:int -> int =
+  let next = lcg (seed lxor 0x2545F49) in
+  fun ~live:_ -> next ()
+
+let run_schedules ?(max_ticks = 400) ?(schedules = 25) ~(seed : int)
+    ~(tasks : string list) (p : F.Tast.program) :
+    (F.Interp.error_kind * F.Loc.t) list =
+  let errs = ref [] in
+  for i = 1 to schedules do
+    let s = (seed * 1_000_003) + i in
+    match
+      F.Interp.run_interleaved ~max_ticks ~input:(input_of_seed s)
+        ~schedule:(schedule_of_seed s) ~tasks p
+    with
+    | F.Interp.Finished -> ()
+    | F.Interp.Error (k, l) -> errs := (k, l) :: !errs
+  done;
+  List.sort_uniq compare !errs
+
+(* Same kind/location coverage policy as the sequential soundness
+   suite: a concrete division by zero may surface as either division
+   or modulo alarm (both originate from the same divisor check). *)
+let covered (alarms : C.Alarm.t list)
+    ((k, l) : F.Interp.error_kind * F.Loc.t) : bool =
+  List.exists
+    (fun (a : C.Alarm.t) ->
+      F.Loc.equal a.C.Alarm.a_loc l
+      &&
+      match (k, a.C.Alarm.a_kind) with
+      | F.Interp.Int_overflow, C.Alarm.Int_overflow
+      | F.Interp.Div_by_zero, (C.Alarm.Div_by_zero | C.Alarm.Mod_by_zero)
+      | F.Interp.Out_of_bounds, C.Alarm.Out_of_bounds
+      | F.Interp.Float_overflow, C.Alarm.Float_overflow
+      | F.Interp.Invalid_op, C.Alarm.Invalid_op
+      | F.Interp.Assert_failure, C.Alarm.Assert_failure
+      | F.Interp.Shift_range, C.Alarm.Shift_range ->
+          true
+      | _ -> false)
+    alarms
+
+let uncovered (alarms : C.Alarm.t list)
+    (errors : (F.Interp.error_kind * F.Loc.t) list) :
+    (F.Interp.error_kind * F.Loc.t) list =
+  List.filter (fun e -> not (covered alarms e)) errors

@@ -1,0 +1,35 @@
+(** Differential concrete-interleaving oracle: seeded random
+    sequentially-consistent executions of a multi-task program, used to
+    refute (never to validate) the interference fixpoint. *)
+
+module C = Astree_core
+module F = Astree_frontend
+
+(** Deterministic volatile-input oracle derived from a seed. *)
+val input_of_seed : int -> F.Tast.input_spec -> float
+
+(** Deterministic scheduler derived from a seed (the interleaver
+    reduces the returned integer modulo the number of live tasks). *)
+val schedule_of_seed : int -> live:int -> int
+
+(** Run [schedules] interleavings (distinct sub-seeds of [seed]) and
+    return the deduplicated runtime errors observed. *)
+val run_schedules :
+  ?max_ticks:int ->
+  ?schedules:int ->
+  seed:int ->
+  tasks:string list ->
+  F.Tast.program ->
+  (F.Interp.error_kind * F.Loc.t) list
+
+(** Is this concrete error covered by an alarm of the matching kind at
+    the same location? *)
+val covered :
+  C.Alarm.t list -> F.Interp.error_kind * F.Loc.t -> bool
+
+(** The concrete errors not covered by any alarm — must be empty for a
+    sound analysis. *)
+val uncovered :
+  C.Alarm.t list ->
+  (F.Interp.error_kind * F.Loc.t) list ->
+  (F.Interp.error_kind * F.Loc.t) list

@@ -1,0 +1,148 @@
+(** Task model of a multi-task program (Sect. 2: "synchronous" control
+    loops running concurrently on shared memory).
+
+    A task is a parameterless entry-point function; the tasks of a
+    program share its global variables.  The model computes, per task,
+    the sets of non-volatile globals it may read and write anywhere in
+    its call graph, and derives from them the [shared] variables: those
+    written by one task and accessed (read or written) by another.
+    Only shared variables are subject to interference — everything else
+    keeps the precise single-task semantics. *)
+
+module F = Astree_frontend
+
+type t = {
+  tm_tasks : string list;          (* validated, in given order *)
+  tm_shared : F.Tast.var list;     (* sorted by name *)
+  tm_reads : (string * F.Tast.VarSet.t) list;
+  tm_writes : (string * F.Tast.VarSet.t) list;
+}
+
+let is_global_tbl (p : F.Tast.program) : (int, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ((v : F.Tast.var), _) ->
+      if not v.F.Tast.v_volatile then Hashtbl.replace tbl v.F.Tast.v_id ())
+    p.F.Tast.p_globals;
+  tbl
+
+let validate (p : F.Tast.program) (tasks : string list) : unit =
+  (match tasks with
+  | [] | [ _ ] ->
+      invalid_arg "Taskmodel: a multi-task program needs at least two tasks"
+  | _ -> ());
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem seen t then
+        invalid_arg (Printf.sprintf "Taskmodel: duplicate task %S" t);
+      Hashtbl.replace seen t ();
+      match F.Tast.find_fun p t with
+      | None -> invalid_arg (Printf.sprintf "Taskmodel: unknown task %S" t)
+      | Some fd ->
+          if fd.F.Tast.fd_params <> [] then
+            invalid_arg
+              (Printf.sprintf "Taskmodel: task %S takes parameters" t))
+    tasks
+
+(* Functions reachable from [entry] through direct calls. *)
+let reachable (p : F.Tast.program) (entry : string) : string list =
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      match F.Tast.find_fun p name with
+      | None -> ()
+      | Some fd ->
+          F.Tast.iter_stmts
+            (fun s ->
+              match s.F.Tast.sdesc with
+              | F.Tast.Scall (_, callee, _) -> visit callee
+              | _ -> ())
+            fd.F.Tast.fd_body
+    end
+  in
+  visit entry;
+  Hashtbl.fold (fun name () acc -> name :: acc) seen []
+
+(* Reads and writes of non-volatile globals across one function body.
+   By-reference arguments are conservatively both read and written:
+   the callee may do either through the reference. *)
+let fun_accesses (globals : (int, unit) Hashtbl.t) (fd : F.Tast.fundef) :
+    F.Tast.VarSet.t * F.Tast.VarSet.t =
+  let reads = ref F.Tast.VarSet.empty and writes = ref F.Tast.VarSet.empty in
+  let is_global (v : F.Tast.var) = Hashtbl.mem globals v.F.Tast.v_id in
+  let add_set acc s =
+    acc := F.Tast.VarSet.union (F.Tast.VarSet.filter is_global s) !acc
+  in
+  let read_expr e = add_set reads (F.Tast.expr_vars e F.Tast.VarSet.empty) in
+  let read_lval lv = add_set reads (F.Tast.lval_vars lv F.Tast.VarSet.empty) in
+  let write_lval lv =
+    let root = F.Tast.lval_root lv in
+    if is_global root then writes := F.Tast.VarSet.add root !writes;
+    (* subscript expressions inside the written lvalue are reads *)
+    read_lval lv
+  in
+  F.Tast.iter_stmts
+    (fun s ->
+      match s.F.Tast.sdesc with
+      | F.Tast.Sassign (lv, e) ->
+          write_lval lv;
+          read_expr e
+      | F.Tast.Scall (_, _, args) ->
+          List.iter
+            (function
+              | F.Tast.Aval e -> read_expr e
+              | F.Tast.Aref lv ->
+                  write_lval lv;
+                  read_lval lv)
+            args
+      | F.Tast.Sif (c, _, _) | F.Tast.Swhile (_, c, _) -> read_expr c
+      | F.Tast.Sreturn (Some e) | F.Tast.Sassert e | F.Tast.Sassume e ->
+          read_expr e
+      | F.Tast.Slocal (_, Some e) -> read_expr e
+      | F.Tast.Sreturn None | F.Tast.Sbreak | F.Tast.Scontinue
+      | F.Tast.Swait | F.Tast.Sskip
+      | F.Tast.Slocal (_, None) ->
+          ())
+    fd.F.Tast.fd_body;
+  (!reads, !writes)
+
+let task_accesses (p : F.Tast.program) (globals : (int, unit) Hashtbl.t)
+    (entry : string) : F.Tast.VarSet.t * F.Tast.VarSet.t =
+  List.fold_left
+    (fun (r, w) name ->
+      match F.Tast.find_fun p name with
+      | None -> (r, w)
+      | Some fd ->
+          let fr, fw = fun_accesses globals fd in
+          (F.Tast.VarSet.union fr r, F.Tast.VarSet.union fw w))
+    (F.Tast.VarSet.empty, F.Tast.VarSet.empty)
+    (reachable p entry)
+
+let build (p : F.Tast.program) (tasks : string list) : t =
+  validate p tasks;
+  let globals = is_global_tbl p in
+  let acc = List.map (fun t -> (t, task_accesses p globals t)) tasks in
+  let reads = List.map (fun (t, (r, _)) -> (t, r)) acc in
+  let writes = List.map (fun (t, (_, w)) -> (t, w)) acc in
+  (* shared: written by some task, read or written by a different one *)
+  let shared =
+    List.fold_left
+      (fun s (t, w) ->
+        let others =
+          List.fold_left
+            (fun o (t', (r', w')) ->
+              if String.equal t t' then o
+              else F.Tast.VarSet.union (F.Tast.VarSet.union r' w') o)
+            F.Tast.VarSet.empty acc
+        in
+        F.Tast.VarSet.union (F.Tast.VarSet.inter w others) s)
+      F.Tast.VarSet.empty writes
+  in
+  let shared =
+    List.sort
+      (fun (a : F.Tast.var) b -> String.compare a.F.Tast.v_name b.F.Tast.v_name)
+      (F.Tast.VarSet.elements shared)
+  in
+  { tm_tasks = tasks; tm_shared = shared; tm_reads = reads; tm_writes = writes }

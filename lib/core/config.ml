@@ -85,6 +85,22 @@ type t = {
           [None] keeps every pack.  Set by the degradation ladder, not by
           end users directly; affects results (soundly: fewer packs can
           only lose precision), hence part of the config fingerprint *)
+  (* ---- multi-task interference analysis (Astree_conc) --------------- *)
+  conc_shared : string list;
+      (** names of the shared (interference-carrying) variables of a
+          multi-task analysis: another task may overwrite them between
+          any two statements, so relational packs over them would carry
+          stale relations — {!Packing.compute} excludes them.  [[]] for
+          single-task analyses (the default): nothing changes.  Set by
+          the interference fixpoint driver, not by end users *)
+  conc_rely_digest : string;
+      (** digest of the interference (rely) map installed for this
+          per-task run, [""] outside multi-task analyses.  Semantically
+          inert by itself, but it identifies the rely environment the
+          run's transfer functions consult — folding it into the config
+          fingerprint makes function summaries self-identify their
+          interference round, so the summary cache stays sound across
+          outer-fixpoint rounds *)
 }
 
 and cache = Cache_off | Cache_mem | Cache_dir of string
@@ -118,6 +134,8 @@ let default : t =
     timeout = 0.;
     max_mem_mb = 0;
     shed_packs_above = None;
+    conc_shared = [];
+    conc_rely_digest = "";
   }
 
 let cache_enabled (cfg : t) : bool = cfg.summary_cache <> Cache_off

@@ -61,6 +61,15 @@ type t = {
   shed_packs_above : int option;
       (** drop relational packs wider than [k] variables to intervals;
           set by the degradation ladder *)
+  (* ---- multi-task interference analysis (Astree_conc) --------------- *)
+  conc_shared : string list;
+      (** shared variables of a multi-task analysis, excluded from
+          relational packs (their relations would be stale under
+          interference); [[]] — the default — for single-task runs *)
+  conc_rely_digest : string;
+      (** digest of the installed interference (rely) map, [""] outside
+          multi-task runs; folded into the config fingerprint so cached
+          summaries self-identify their interference round *)
 }
 
 and cache = Cache_off | Cache_mem | Cache_dir of string

@@ -403,6 +403,28 @@ let compute (cfg : Config.t) (p : program) : t =
         ~max_nums:cfg.Config.max_dtree_nums p
     else []
   in
+  (* multi-task interference: a variable another task may overwrite
+     between any two statements cannot soundly carry relational
+     invariants across statements, so packs touching a shared variable
+     are dropped — reads of shared variables stay sound through the
+     interval join with the rely set in [Transfer.cell_itv] *)
+  let octs, ells, dts =
+    match cfg.Config.conc_shared with
+    | [] -> (octs, ells, dts)
+    | shared ->
+        let is_shared (v : var) = List.mem v.v_name shared in
+        ( List.filter
+            (fun op -> not (Array.exists is_shared op.op_vars))
+            octs,
+          List.filter
+            (fun ep -> not (Array.exists is_shared ep.ep_vars))
+            ells,
+          List.filter
+            (fun dp ->
+              (not (Array.exists is_shared dp.dp_bools))
+              && not (Array.exists is_shared dp.dp_nums))
+            dts )
+  in
   (* degradation ladder (Astree_robust.Degrade): keep only packs of at
      most [k] variables.  Dropping a pack loses precision but never
      soundness — relational invariants are a refinement of the interval

@@ -31,6 +31,32 @@ type binds = lval VarMap.t
    types below are pure data over [Astate]/[Alarm] and are re-exported
    (with equations) by [Iterator], their historical home. *)
 
+(** A shared cell of the multi-task interference analysis, identified
+    position-independently (root variable id + access path) so keys
+    marshal across processes and survive differing interner numberings. *)
+type itf_key = int * Cell.step list
+
+(** Interference context of one per-task analysis run (Miné's
+    rely/guarantee iteration around this analyzer's design).  Installed
+    by the outer fixpoint driver ([Astree_conc]) through the session;
+    [None] — the default — leaves every transfer function byte-for-byte
+    on its single-task path.
+
+    - [itf_rely]: the rely map, joined into every read of a shared cell
+      ([cell_itv]): between any two statements another task may have
+      stored any value the rely covers.
+    - [itf_shared]: root variable ids of the shared variables; gates
+      both the read join and the value-copy fast paths of [assign]
+      (copying a shared source's own-flow value would silently drop the
+      rely).
+    - [itf_writes]: the guarantee collector — every abstract write to a
+      shared cell joins its value here, keyed position-independently. *)
+type itf = {
+  itf_rely : (itf_key, D.Itv.t) Hashtbl.t;
+  itf_shared : (int, unit) Hashtbl.t;
+  itf_writes : (itf_key, D.Itv.t) Hashtbl.t;
+}
+
 (** The side effects of one captured call, in replayable form (the
     summary cache records these; see the capture functions below). *)
 type capture_delta = {
@@ -38,6 +64,9 @@ type capture_delta = {
   cd_invariants : (int * Astate.t) list;  (** sorted by loop id *)
   cd_oct_useful : int list;               (** sorted *)
   cd_joins : int;
+  cd_itf_writes : (itf_key * D.Itv.t) list;
+      (** shared-cell writes recorded during the call (sorted by key),
+          so summary replay keeps the interference guarantee complete *)
 }
 
 (** Flow-separated analysis outcome of a statement or block.  [o_norm]
@@ -153,6 +182,10 @@ type session = {
       (** the context currently being analyzed under this session, set
           by [Analysis.analyze_prepared]; the robust subsystem reads it
           to assemble a partial result on interrupt *)
+  mutable ses_itf : itf option;
+      (** interference context of a multi-task per-task run, installed
+          by the outer fixpoint driver ([Astree_conc]); [None] keeps
+          every transfer function on its single-task path *)
 }
 
 (** Analysis context shared by all transfer functions. *)
@@ -184,6 +217,7 @@ let new_session () : session =
     ses_collect_tables = false;
     ses_tables = [];
     ses_live = None;
+    ses_itf = None;
   }
 
 let make_actx ?session (cfg : Config.t) (p : program) : actx =
@@ -272,14 +306,48 @@ let input_itv (a : actx) (v : var) (s : F.Ctypes.scalar) : D.Itv.t =
       | F.Ctypes.Tfloat _ -> D.Itv.float_range lo hi)
   | None -> type_range a s
 
-(** Read a cell's interval from the state (clock-reduced). *)
+(** Is [v] a shared variable of a multi-task run?  [false] whenever no
+    interference context is installed (the single-task fast path). *)
+let itf_tracked_var (a : actx) (v : var) : bool =
+  match a.session.ses_itf with
+  | None -> false
+  | Some it -> Hashtbl.mem it.itf_shared v.v_id
+
+(** Record an abstract write of [value] to the shared cell keyed [key]
+    into the guarantee collector (join-on-add: the collector
+    over-approximates the union of every value this task may store). *)
+let itf_record (it : itf) (key : itf_key) (value : D.Itv.t) : unit =
+  let joined =
+    match Hashtbl.find_opt it.itf_writes key with
+    | Some old -> D.Itv.join old value
+    | None -> value
+  in
+  Hashtbl.replace it.itf_writes key joined
+
+(** Read a cell's interval from the state (clock-reduced).  Under an
+    interference context, reads of shared cells return the join of the
+    own-flow value with the rely set: between any two statements another
+    task may have stored any value the rely covers (Miné's
+    flow-insensitive interference semantics).  This is the single read
+    funnel of the analyzer — guards, linearization oracles and
+    relational write-backs all go through it, so every consumer of a
+    shared value sees the interference. *)
 let cell_itv (a : actx) (st : Astate.t) (id : int) : D.Itv.t =
   let c = Cell.of_id a.intern id in
-  if Cell.is_volatile c && c.Cell.path = [] then input_itv a c.Cell.root c.Cell.cty
-  else
-    match Env.find st.Astate.env id with
-    | Some av -> Avalue.itv (Avalue.reduce st.Astate.clock av)
-    | None -> type_range a c.Cell.cty
+  let own =
+    if Cell.is_volatile c && c.Cell.path = [] then
+      input_itv a c.Cell.root c.Cell.cty
+    else
+      match Env.find st.Astate.env id with
+      | Some av -> Avalue.itv (Avalue.reduce st.Astate.clock av)
+      | None -> type_range a c.Cell.cty
+  in
+  match a.session.ses_itf with
+  | None -> own
+  | Some it -> (
+      match Hashtbl.find_opt it.itf_rely (c.Cell.root.v_id, c.Cell.path) with
+      | Some rely -> D.Itv.join own rely
+      | None -> own)
 
 (** Current interval of a scalar variable. *)
 let var_itv (a : actx) (st : Astate.t) (v : var) : D.Itv.t =
@@ -1568,12 +1636,19 @@ let assign (a : actx) (st : Astate.t) (binds : binds) (lv : lval) (rhs : expr)
         let generic () = Avalue.of_itv ~use_clocked ~clock rhs_itv in
         if not use_clocked then generic ()
         else
+          (* the copy and x := y + c fast paths below meet the SOURCE
+             variable's own-flow value with rhs_itv; when y is shared,
+             its own-flow value excludes the rely (other tasks' writes,
+             present in rhs_itv via cell_itv), so the meet would
+             silently drop interference values — fall back to the
+             generic construction, which keeps rhs_itv whole *)
           match rhs.edesc with
           | Elval { ldesc = Lvar y; _ }
             when F.Ctypes.is_scalar y.v_ty
                  && F.Ctypes.equal (F.Ctypes.Tscalar rhs.ety) y.v_ty -> (
               match Env.find st.Astate.env (var_cell a y) with
-              | Some av when not y.v_volatile ->
+              | Some av when (not y.v_volatile) && not (itf_tracked_var a y)
+                ->
                   Avalue.with_itv av
                     (D.Itv.meet (Avalue.itv av) rhs_itv |> fun i ->
                      if D.Itv.is_bot i then Avalue.itv av else i)
@@ -1587,6 +1662,7 @@ let assign (a : actx) (st : Astate.t) (binds : binds) (lv : lval) (rhs : expr)
                   match Env.find st.Astate.env ycell with
                   | Some av
                     when (not y.v_volatile) && ycell = id
+                         && (not (itf_tracked_var a y))
                          && same_kind (Avalue.itv av) rhs.ety ->
                       (* self-update x := x + c *)
                       let k =
@@ -1607,6 +1683,7 @@ let assign (a : actx) (st : Astate.t) (binds : binds) (lv : lval) (rhs : expr)
                       else Avalue.with_itv shifted meet_v
                   | Some av
                     when (not y.v_volatile)
+                         && (not (itf_tracked_var a y))
                          && same_kind (Avalue.itv av) rhs.ety ->
                       let k =
                         match rhs.ety with
@@ -1643,6 +1720,18 @@ let assign (a : actx) (st : Astate.t) (binds : binds) (lv : lval) (rhs : expr)
           st.Astate.env cells
       in
       let st = { st with Astate.env = env } in
+      (* interference guarantee: every abstract write to a shared cell
+         records its value (rhs_itv over-approximates the stored value
+         for strong and weak updates alike) *)
+      (match a.session.ses_itf with
+      | None -> ()
+      | Some it ->
+          List.iter
+            (fun id ->
+              let c = Cell.of_id a.intern id in
+              if Hashtbl.mem it.itf_shared c.Cell.root.v_id then
+                itf_record it (c.Cell.root.v_id, c.Cell.path) rhs_itv)
+            cells);
       (* relational updates only for exact scalar-variable assignments *)
       match lv.ldesc with
       | Lvar x when exact && F.Ctypes.is_scalar x.v_ty ->
@@ -1827,6 +1916,10 @@ type capture = {
   cap_invariants : (int, Astate.t) Hashtbl.t;  (** copy at entry *)
   cap_oct_useful : (int, unit) Hashtbl.t;      (** copy at entry *)
   cap_joins : int;
+  cap_itf : (itf_key, D.Itv.t) Hashtbl.t option;
+      (** copy of the interference guarantee collector at entry (shared
+          cells are few, so the copy is cheap); [None] outside
+          multi-task runs *)
 }
 
 let capture_begin (a : actx) : capture =
@@ -1835,6 +1928,10 @@ let capture_begin (a : actx) : capture =
     cap_invariants = Hashtbl.copy a.invariants;
     cap_oct_useful = Hashtbl.copy a.oct_useful;
     cap_joins = a.join_count;
+    cap_itf =
+      Option.map
+        (fun it -> Hashtbl.copy it.itf_writes)
+        a.session.ses_itf;
   }
 
 (** Close a capture section: restore the alarm collector (absorbing the
@@ -1861,11 +1958,28 @@ let capture_end (a : actx) (c : capture) : capture_delta =
       a.oct_useful []
     |> List.sort Int.compare
   in
+  let itf_writes =
+    match (a.session.ses_itf, c.cap_itf) with
+    | Some it, Some snap ->
+        (* keys whose joined value moved during the call, with their
+           full current value: a superset of the call's own writes
+           (sound — the guarantee is a per-run union anyway) and a
+           subset of this run's writes (so replay never invents one) *)
+        Hashtbl.fold
+          (fun key v acc ->
+            match Hashtbl.find_opt snap key with
+            | Some old when D.Itv.equal old v -> acc
+            | _ -> (key, v) :: acc)
+          it.itf_writes []
+        |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+    | _ -> []
+  in
   {
     cd_alarms = alarms;
     cd_invariants = invariants;
     cd_oct_useful = oct_useful;
     cd_joins = a.join_count - c.cap_joins;
+    cd_itf_writes = itf_writes;
   }
 
 (** Abandon a capture section on an exceptional exit: the alarm table is
@@ -1883,4 +1997,8 @@ let capture_replay (a : actx) (d : capture_delta) : unit =
     (fun (id, st) -> Hashtbl.replace a.invariants id st)
     d.cd_invariants;
   List.iter (fun id -> Hashtbl.replace a.oct_useful id ()) d.cd_oct_useful;
-  a.join_count <- a.join_count + d.cd_joins
+  a.join_count <- a.join_count + d.cd_joins;
+  match a.session.ses_itf with
+  | None -> ()
+  | Some it ->
+      List.iter (fun (key, v) -> itf_record it key v) d.cd_itf_writes

@@ -24,6 +24,25 @@ type binds = F.Tast.lval F.Tast.VarMap.t
     types are re-exported with equations by [Iterator], their historical
     home. *)
 
+(** {1 Multi-task interference (Astree_conc seam)} *)
+
+(** A shared cell, identified position-independently: root variable id
+    and access path.  Marshals across processes and is stable across
+    differing interner numberings. *)
+type itf_key = int * Cell.step list
+
+(** Interference context of one per-task run of a multi-task analysis
+    (Miné's rely/guarantee iteration): [itf_rely] is joined into every
+    read of a shared cell, [itf_shared] gates the read join and the
+    value-copy fast paths, [itf_writes] collects the task's abstract
+    writes to shared cells (the guarantee).  Installed via
+    [session.ses_itf] by the outer fixpoint driver. *)
+type itf = {
+  itf_rely : (itf_key, D.Itv.t) Hashtbl.t;
+  itf_shared : (int, unit) Hashtbl.t;
+  itf_writes : (itf_key, D.Itv.t) Hashtbl.t;
+}
+
 (** Replayable side effects of one captured call (see the capture
     functions at the bottom of this interface). *)
 type capture_delta = {
@@ -31,6 +50,9 @@ type capture_delta = {
   cd_invariants : (int * Astate.t) list;  (** sorted by loop id *)
   cd_oct_useful : int list;               (** sorted *)
   cd_joins : int;
+  cd_itf_writes : (itf_key * D.Itv.t) list;
+      (** shared-cell writes of the call (sorted by key), replayed into
+          the guarantee collector on a cache hit *)
 }
 
 (** Flow-separated analysis outcome of a statement or block. *)
@@ -119,6 +141,9 @@ type session = {
       (** (store key, entries) per cache attach, newest first *)
   mutable ses_live : actx option;
       (** context currently analyzed under this session *)
+  mutable ses_itf : itf option;
+      (** interference context of a multi-task per-task run; [None]
+          keeps every transfer function on its single-task path *)
 }
 
 (** Analysis context shared by all transfer functions. *)
@@ -161,8 +186,18 @@ val type_range : actx -> F.Ctypes.scalar -> D.Itv.t
 (** Range of a volatile input read (Sect. 4 environment specs). *)
 val input_itv : actx -> F.Tast.var -> F.Ctypes.scalar -> D.Itv.t
 
-(** Clock-reduced interval of a cell. *)
+(** Clock-reduced interval of a cell.  Under an interference context,
+    reads of shared cells join the rely set — this is the single read
+    funnel every consumer of an abstract value goes through. *)
 val cell_itv : actx -> Astate.t -> int -> D.Itv.t
+
+(** Is [v] a shared variable of a multi-task run?  [false] whenever no
+    interference context is installed. *)
+val itf_tracked_var : actx -> F.Tast.var -> bool
+
+(** Join a write into an interference guarantee collector (exposed for
+    the fixpoint driver's replay paths and tests). *)
+val itf_record : itf -> itf_key -> D.Itv.t -> unit
 
 (** Clock-reduced interval of a scalar variable. *)
 val var_itv : actx -> Astate.t -> F.Tast.var -> D.Itv.t

@@ -106,6 +106,9 @@ type state = {
   mutable clock : int;
   max_ticks : int;
   on_tick : (state -> unit) option;
+  on_stmt : (state -> unit) option;
+      (** called before every statement (and before each loop-guard
+          re-evaluation) — the multi-task interleaver yields here *)
 }
 
 exception Stop_execution
@@ -342,6 +345,7 @@ and eval_expr st (e : expr) : value =
 (* ------------------------------------------------------------------ *)
 
 let rec exec_stmt st (s : stmt) : unit =
+  (match st.on_stmt with None -> () | Some f -> f st);
   match s.sdesc with
   | Sskip -> ()
   | Slocal (v, init) ->
@@ -357,8 +361,14 @@ let rec exec_stmt st (s : stmt) : unit =
   | Sif (c, a, b) ->
       if truth (eval_expr st c) then exec_block st a else exec_block st b
   | Swhile (_, c, body) -> (
+      let guard () =
+        (* a guard re-evaluation is an atomic step of its own, so the
+           interleaver can switch tasks even on empty-body loops *)
+        (match st.on_stmt with None -> () | Some f -> f st);
+        truth (eval_expr st c)
+      in
       try
-        while truth (eval_expr st c) do
+        while guard () do
           try exec_block st body with Cont -> ()
         done
       with Brk -> ())
@@ -432,6 +442,7 @@ let run ?(max_ticks = 1000) ?on_tick
       clock = 0;
       max_ticks;
       on_tick = None;
+      on_stmt = None;
     }
   in
   let st = match on_tick with None -> st | Some f -> { st with on_tick = Some (fun s -> f s) } in
@@ -450,6 +461,95 @@ let run ?(max_ticks = 1000) ?on_tick
       with
       | Stop_execution -> Finished
       | Runtime_error (k, l) -> Error (k, l))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-task interleaved execution                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Sequentially-consistent interleaving semantics for N tasks sharing
+   the globals, with statement-level atomicity: expressions of the IR
+   are pure, so one statement is one atomic step and every interleaving
+   is a sequence of whole statements.  Each task runs as an effect-
+   handler fiber that performs [Yield] at statement boundaries; a
+   caller-supplied scheduler picks which live task executes the next
+   statement.  This is the concrete ground truth the differential
+   oracle of the interference fixpoint tests against. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+type fiber =
+  | Not_started of (unit -> unit)
+  | Suspended of (unit, fiber) Effect.Deep.continuation
+  | Done
+
+let run_interleaved ?(max_ticks = 1000)
+    ?(input = fun spec -> (spec.in_lo +. spec.in_hi) /. 2.0)
+    ~(schedule : live:int -> int) ~(tasks : string list) (p : program) :
+    outcome =
+  let store = Hashtbl.create 256 in
+  List.iter
+    (fun (v, init) ->
+      Hashtbl.replace store v.v_id
+        (ref (value_of_init p.p_structs v.v_ty init)))
+    p.p_globals;
+  (* one interpreter state per task: shared global store, private call
+     frames and a private tick counter *)
+  let mk_task name =
+    match find_fun p name with
+    | None -> invalid_arg ("run_interleaved: no such task: " ^ name)
+    | Some fd ->
+        let st =
+          {
+            prog = p;
+            store;
+            frames = [ Hashtbl.create 8 ];
+            input;
+            clock = 0;
+            max_ticks;
+            on_tick = None;
+            on_stmt = Some (fun _ -> Effect.perform Yield);
+          }
+        in
+        Not_started
+          (fun () ->
+            try exec_block st fd.fd_body with Ret _ | Stop_execution -> ())
+  in
+  let fibers = Array.of_list (List.map mk_task tasks) in
+  let handler : (unit, fiber) Effect.Deep.handler =
+    {
+      retc = (fun () -> Done);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, fiber) Effect.Deep.continuation) -> Suspended k)
+          | _ -> None);
+    }
+  in
+  let live () =
+    Array.to_list fibers
+    |> List.mapi (fun i f -> (i, f))
+    |> List.filter_map (fun (i, f) ->
+           match f with Done -> None | _ -> Some i)
+  in
+  try
+    let rec loop () =
+      match live () with
+      | [] -> Finished
+      | alive ->
+          let n = List.length alive in
+          let pick = List.nth alive (abs (schedule ~live:n) mod n) in
+          fibers.(pick) <-
+            (match fibers.(pick) with
+            | Not_started f -> Effect.Deep.match_with f () handler
+            | Suspended k -> Effect.Deep.continue k ()
+            | Done -> assert false);
+          loop ()
+    in
+    loop ()
+  with Runtime_error (k, l) -> Error (k, l)
 
 (** Read a global scalar after/during a run (testing helper). *)
 let read_global_scalar st (name : string) : value option =

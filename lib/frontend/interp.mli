@@ -44,5 +44,23 @@ val run :
   Tast.program ->
   outcome
 
+(** Execute [tasks] (parameterless functions of the program) under a
+    sequentially-consistent interleaving with statement-level atomicity:
+    the tasks share the globals, each has private call frames and its
+    own tick counter, and between any two statements the scheduler may
+    switch tasks.  [schedule ~live:n] picks which of the [n] still-live
+    tasks (in task-list order) executes the next statement; a task dies
+    when its body returns, its assume fails or its ticks are exhausted.
+    [p_main] is not run.  Ground truth for the differential oracle of
+    the multi-task interference analysis.
+    @raise Invalid_argument if a task name is not a function of [p]. *)
+val run_interleaved :
+  ?max_ticks:int ->
+  ?input:(Tast.input_spec -> float) ->
+  schedule:(live:int -> int) ->
+  tasks:string list ->
+  Tast.program ->
+  outcome
+
 (** Read a global scalar by name (testing helper). *)
 val read_global_scalar : state -> string -> value option

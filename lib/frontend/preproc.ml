@@ -517,12 +517,11 @@ let run ?(env = make_env ()) ~file src = process env ~file ~depth:0 src
 (* Analyzer directive comments                                         *)
 (* ------------------------------------------------------------------ *)
 
-(** Collect the function names of every "/* astree-partition: f g */"
-    marker in [src].  Any amount of whitespace — spaces, tabs, newlines
-    — may follow the colon and separate the names; the list ends at the
-    closing "*/".  Names are returned sorted and deduplicated. *)
-let partition_markers (src : string) : string list =
-  let tag = "astree-partition:" in
+(** Collect, in document order, the names listed by every "/* [tag] f g
+    */" marker in [src].  Any amount of whitespace — spaces, tabs,
+    newlines — may follow the tag and separate the names; the list ends
+    at the closing "*/". *)
+let scan_markers ~(tag : string) (src : string) : string list =
   let tlen = String.length tag in
   let n = String.length src in
   let is_ws c = c = ' ' || c = '\t' || c = '\r' || c = '\n' in
@@ -548,4 +547,24 @@ let partition_markers (src : string) : string list =
     end
     else incr i
   done;
-  List.sort_uniq String.compare !acc
+  List.rev !acc
+
+(** Function names listed by "/* astree-partition: f g */" markers,
+    sorted and deduplicated. *)
+let partition_markers (src : string) : string list =
+  scan_markers ~tag:"astree-partition:" src |> List.sort_uniq String.compare
+
+(** Task entry points listed by "/* astree-task: t u */" markers, in
+    document order with duplicates removed (the first occurrence wins):
+    unlike partition markers the order is meaningful — it fixes the
+    task numbering of the interference analysis and its reports. *)
+let task_markers (src : string) : string list =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun name ->
+      if Hashtbl.mem seen name then false
+      else begin
+        Hashtbl.add seen name ();
+        true
+      end)
+    (scan_markers ~tag:"astree-task:" src)

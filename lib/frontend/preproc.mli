@@ -32,3 +32,9 @@ val run : ?env:env -> file:string -> string -> string
     sorted and deduplicated.  Whitespace after the colon and between
     names is arbitrary (spaces, tabs, newlines). *)
 val partition_markers : string -> string list
+
+(** Task entry points listed by "/* astree-task: t u */" markers, in
+    document order with duplicates removed — the order fixes the task
+    numbering of the multi-task interference analysis.  Two or more
+    names mark the program as multi-task. *)
+val task_markers : string -> string list

@@ -29,9 +29,21 @@ type generated = {
   partition_fns : string list;
       (** functions needing trace partitioning (Sect. 7.1.5); also
           recorded in the source as an [astree-partition] marker *)
+  task_fns : string list;
+      (** task entry points of a multi-task member; empty for the
+          sequential generators, recorded in the source as an
+          [astree-task] marker by {!generate_tasks} *)
 }
 
 val generate : config -> generated
+
+(** A multi-task member: [tasks] periodic task functions sharing the
+    globals through a ring of channels; [main] remains their sequential
+    composition.  [config.bug_ratio] selects racy channel producers —
+    safe sequentially, erroneous under some interleavings.  Generation
+    is deterministic in [config.seed] (byte-identical sources).
+    @raise Invalid_argument when [tasks < 2]. *)
+val generate_tasks : config -> tasks:int -> generated
 
 (** The reference program of the refinement experiment (Sect. 3.1). *)
 val reference : ?target_lines:int -> unit -> generated

@@ -203,7 +203,12 @@ let config_digest (cfg : C.Config.t) : string =
         cfg.max_clock,
         cfg.expand_array_max,
         cfg.naive_environments,
-        cfg.shed_packs_above ) )
+        cfg.shed_packs_above ),
+      (* result-affecting: conc_shared changes the packing, and the rely
+         digest identifies the interference environment of a per-task
+         run — summaries must not cross interference rounds whose rely
+         sets differ *)
+      (cfg.conc_shared, cfg.conc_rely_digest) )
   in
   Digest.to_hex (Digest.string (Marshal.to_string repr [ Marshal.No_sharing ]))
 

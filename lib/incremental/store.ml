@@ -17,10 +17,11 @@
 module C = Astree_core
 module Faultsim = Astree_robust.Faultsim
 
-(* v3: Alarm.t gained the provenance field (ISSUE 5), changing the
-   Marshal layout of stored summaries — older stores must read as
-   foreign and degrade to cold, not crash. *)
-let magic = "astree-summary-store v3\n"
+(* v3: Alarm.t gained the provenance field (ISSUE 5); v4:
+   capture_delta gained cd_itf_writes (multi-task interference).  Both
+   changed the Marshal layout of stored summaries — older stores must
+   read as foreign and degrade to cold, not crash. *)
+let magic = "astree-summary-store v4\n"
 
 type entries = (C.Iterator.summary_key * C.Iterator.summary) array
 

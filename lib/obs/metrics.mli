@@ -18,7 +18,11 @@
     traffic), gauges and histograms are functions of the analysis
     performed: a [-j n] run with delta shipping reports exactly the
     sequential values and {!render_json} with [~timers:false] is
-    byte-stable across equivalent runs.  Two exceptions sit outside that
+    byte-stable across equivalent runs.  The multi-task interference
+    fixpoint reports under [conc.*]: the [conc.rounds] counter (outer
+    rounds run) and the [conc.tasks] / [conc.interference_vars] gauges
+    (task and shared-variable count of the last multi-task run); its
+    per-round trace spans are named [conc.round].  Two exceptions sit outside that
     contract: scheduling counters ([par.*] — a sequential run dispatches
     nothing) and work counters on sharing-elided paths ([oct.join]
     counts {e performed} pack joins, most of which the sequential run

@@ -7,6 +7,13 @@ module F = Astree_frontend
 let json_escape = Json.escape
 let json_str s = "\"" ^ json_escape s ^ "\""
 
+type interference = {
+  i_tasks : int;
+  i_rounds : int;
+  i_stabilized : bool;
+  i_shared : int;
+}
+
 let json_alarm (a : C.Alarm.t) : string =
   let prov =
     match a.C.Alarm.a_prov with
@@ -62,11 +69,21 @@ let json_degraded (d : C.Analysis.degraded) : string =
     d.C.Analysis.dg_shed_ell_packs d.C.Analysis.dg_shed_dt_packs
     d.C.Analysis.dg_partitioning_disabled d.C.Analysis.dg_widening_accelerated
 
-let render ?(metrics = false) (r : C.Analysis.result) : string =
+let json_interference (i : interference) : string =
+  Printf.sprintf
+    "{\"tasks\": %d, \"rounds\": %d, \"stabilized\": %b, \"shared_vars\": %d}"
+    i.i_tasks i.i_rounds i.i_stabilized i.i_shared
+
+let render ?(metrics = false) ?interference (r : C.Analysis.result) : string =
   let degraded =
     match r.C.Analysis.r_stats.C.Analysis.s_degraded with
     | None -> ""
     | Some d -> Printf.sprintf ", \"degraded\": %s" (json_degraded d)
+  in
+  let interference =
+    match interference with
+    | None -> ""
+    | Some i -> Printf.sprintf ", \"interference\": %s" (json_interference i)
   in
   let metrics_block =
     (* opt-in: the registry holds volatile counters (timings, per-run
@@ -79,13 +96,13 @@ let render ?(metrics = false) (r : C.Analysis.result) : string =
   in
   Printf.sprintf
     "{\"alarms\": [%s], \"stats\": %s, \"octagon_useful_ids\": [%s], \
-     \"fingerprint\": %s%s%s}"
+     \"fingerprint\": %s%s%s%s}"
     (String.concat ", " (List.map json_alarm r.C.Analysis.r_alarms))
     (json_stats r.C.Analysis.r_stats)
     (String.concat ", "
        (List.map string_of_int (C.Analysis.useful_octagon_packs r)))
     (json_str (Astree_parallel.Merge.fingerprint r))
-    degraded metrics_block
+    interference degraded metrics_block
 
 let strip_cache (r : C.Analysis.result) : C.Analysis.result =
   {

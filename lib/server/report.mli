@@ -11,14 +11,24 @@ module C = Astree_core
 val json_escape : string -> string
 val json_str : string -> string
 
-val render : ?metrics:bool -> C.Analysis.result -> string
+(** Summary of a multi-task interference fixpoint, rendered as the
+    report's ["interference"] block when present. *)
+type interference = {
+  i_tasks : int;
+  i_rounds : int;
+  i_stabilized : bool;
+  i_shared : int;  (** shared-variable count *)
+}
+
+val render :
+  ?metrics:bool -> ?interference:interference -> C.Analysis.result -> string
 (** The whole result as one JSON object (no trailing newline): alarms
     (with provenance when recorded), statistics (cache counters always
     included when a cache ran), the useful-octagon-pack ids, the
     deterministic result fingerprint ([Merge.fingerprint], the digest
-    the equivalence tests compare), for degraded or interrupted runs a
-    ["degraded"] block, and with [~metrics:true] the full metrics
-    registry. *)
+    the equivalence tests compare), an ["interference"] block for
+    multi-task runs, for degraded or interrupted runs a ["degraded"]
+    block, and with [~metrics:true] the full metrics registry. *)
 
 val strip_cache : C.Analysis.result -> C.Analysis.result
 (** Drop the cache counters from the result's statistics.  The daemon

@@ -225,6 +225,24 @@ let serve (w : work) : outcome =
   let m0 = Astree_obs.Metrics.snapshot () in
   let cmark = Astree_obs.Trace.capture_begin () in
   try
+    (* the interference fixpoint drives whole analyses as sub-runs and
+       owns its own pool: it does not fit the daemon's one-request =
+       one-analysis worker model.  Refuse cleanly instead of failing
+       worker-side partway through. *)
+    (match
+       List.concat_map
+         (fun (_, src) -> F.Preproc.task_markers src)
+         w.w_sources
+     with
+    | [] | [ _ ] -> ()
+    | t ->
+        raise
+          (Request_error
+             (Fmt.str
+                "multi-task program (astree-task markers: %s): not \
+                 supported by the analysis server; run astree without \
+                 --connect"
+                (String.concat " " t))));
     let p = compile_cached ~main:w.w_main w.w_sources in
     let cfg = config_of w.w_options ~sources:w.w_sources in
     if cfg.C.Config.jobs > 1 then Astree_parallel.Scheduler.register ();

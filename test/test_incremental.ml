@@ -424,7 +424,7 @@ let test_store_corruption () =
    no interleaving may ever publish a torn file, and merge-on-save must
    converge to the union of both writers' entries rather than letting
    the last rename drop the other writer's work *)
-let store_magic = "astree-summary-store v3\n"
+let store_magic = "astree-summary-store v4\n"
 
 (* the store format contract: magic header, then the MD5 of the payload,
    then the payload.  Any complete file satisfies it; a torn or partial

@@ -27,6 +27,7 @@ let () =
       ("observability", Test_obs.suite);
       ("incremental", Test_incremental.suite);
       ("soundness", Test_soundness.suite);
+      ("concurrency", Test_concurrency.suite);
       ("robust", Test_robust.suite);
       ("server", Test_server.suite);
     ]

@@ -517,6 +517,67 @@ let test_shutdown_drains () =
       Alcotest.(check bool) "socket unlinked after drain" false
         (Sys.file_exists sock))
 
+(* ---- multi-task rejection ---------------------------------------- *)
+
+(* a two-task program: the daemon must refuse it with a clean error
+   reply pointing at the one-shot CLI, not fail worker-side *)
+let prog_multi_task =
+  "/* astree-task: t1 t2 */\n\
+   int g;\n\
+   void t1(void) { while (1) { g = g + 1; __astree_wait_for_clock(); } }\n\
+   void t2(void) { while (1) { int x = g; __astree_wait_for_clock(); } }\n\
+   int main(void) { while (1) { __astree_wait_for_clock(); } }\n"
+
+let test_multi_task_refused () =
+  (* worker-side behavior, without a daemon round-trip *)
+  (match
+     Srv.Service.serve
+       {
+         Srv.Service.w_sources = [ ("m.c", prog_multi_task) ];
+         w_main = "main";
+         w_options = Srv.Service.default_options;
+         w_preload = [];
+         w_strip_cache = true;
+       }
+   with
+  | Srv.Service.Refused msg ->
+      Alcotest.(check bool) "refusal names the markers" true
+        (let has sub =
+          let n = String.length sub in
+          let rec go i =
+            i + n <= String.length msg
+            && (String.sub msg i n = sub || go (i + 1))
+          in
+          go 0
+        in
+        has "multi-task" && has "t1 t2" && has "--connect")
+  | Srv.Service.Served _ ->
+      Alcotest.fail "multi-task request must be refused");
+  (* over the wire: a clean error reply, and the daemon stays up *)
+  with_daemon (fun sock ->
+      let rep =
+        ok_exn
+          (Srv.Client.request sock
+             (Srv.Json.parse
+                (Srv.Client.analyze_request
+                   ~sources:[ ("m.c", prog_multi_task) ]
+                   ~main:"main" ~options:Srv.Service.default_options ())
+             |> Result.get_ok))
+      in
+      Alcotest.(check string) "multi-task refused" "error"
+        rep.Srv.Client.r_status;
+      (* the daemon still serves sequential requests afterwards *)
+      let rep =
+        ok_exn
+          (Srv.Client.request sock
+             (Srv.Json.parse
+                (Srv.Client.analyze_request
+                   ~sources:[ ("t.c", prog_simple) ]
+                   ~main:"main" ~options:Srv.Service.default_options ())
+             |> Result.get_ok))
+      in
+      Alcotest.(check string) "daemon survives" "ok" rep.Srv.Client.r_status)
+
 let suite =
   [
     Alcotest.test_case "json codec round-trip" `Quick test_json_roundtrip;
@@ -533,4 +594,6 @@ let suite =
       test_worker_crash;
     Alcotest.test_case "shutdown drains in-flight work" `Quick
       test_shutdown_drains;
+    Alcotest.test_case "multi-task requests are refused" `Quick
+      test_multi_task_refused;
   ]
