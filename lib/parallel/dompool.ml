@@ -1,0 +1,231 @@
+(** Shared-memory worker pool on OCaml 5 domains.
+
+    The drop-in sibling of the fork {!Pool}: [jobs] domains serve work
+    from per-worker run queues with work stealing.  Jobs and replies
+    pass {e by reference} — no Marshal, no pipes — so shipping a job
+    costs nothing and the Ptmap physical sharing inside abstract states
+    survives the worker boundary (the fork backend's Marshal round-trip
+    destroys it, forcing workers to redo joins the sequential analysis
+    elides).
+
+    {b Scheduling.}  [map] deals the jobs round-robin into per-worker
+    queues; an owner drains its queue front-to-back (ascending job
+    index), and an idle worker steals from the {e back} of the longest
+    sibling queue, so a batch whose first rung dwarfs the rest (the
+    refinement-ladder shape) never serializes on one worker.  Steals
+    are counted into the [par.steals] metric.  Results land in a slot
+    array indexed by job position: the returned list is in job order
+    whatever the execution interleaving, which is where the
+    deterministic-merge guarantee starts, exactly as in {!Pool.map}.
+
+    {b Synchronization.}  All queue state lives under one mutex; job
+    execution happens outside it.  Analysis jobs are milliseconds to
+    seconds of work, so the lock is uncontended in practice, and
+    mutex-protected hand-off gives the coordinator a happens-before
+    edge on everything each worker allocated — no torn reads of
+    replies.  Batches are numbered: a worker completing a job from an
+    abandoned batch (budget trip) discards its result instead of
+    writing into a newer batch's slots.
+
+    {b What the fork pool has that this one hasn't.}  Isolation.  A
+    domain cannot be killed, so there are no per-job timeouts, no crash
+    respawns, and no fault-injection points here ([map]'s [?timeout] is
+    accepted for interface compatibility and ignored); a job that
+    raises comes back as [Error _], but a genuinely wedged job wedges
+    the pool.  The scheduler therefore routes to the fork backend
+    whenever faults are armed ({!Astree_robust.Faultsim}) or a resource
+    budget is ({!Astree_robust.Budget}). *)
+
+type ('a, 'b) t = {
+  d_size : int;
+  mu : Mutex.t;
+  work : Condition.t;       (* workers: work arrived or shutdown *)
+  done_c : Condition.t;     (* coordinator: a job completed *)
+  queues : int list array;  (* per-worker run queues of job indexes,
+                               front = next for the owner *)
+  mutable epoch : int;            (* current batch number *)
+  mutable jobs : 'a array;        (* current batch *)
+  mutable results : ('b, string) result option array;
+  mutable jobs_done : int;
+  mutable jobs_total : int;
+  mutable steals : int;           (* cumulative over the pool's life *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let size (p : ('a, 'b) t) = p.d_size
+
+let c_steals = Astree_obs.Metrics.counter "par.steals"
+
+(* Take the next job index for worker [w], owner-first then stealing
+   from the back of the longest sibling queue; call with [p.mu] held. *)
+let take_job (p : ('a, 'b) t) (w : int) : int option =
+  match p.queues.(w) with
+  | j :: rest ->
+      p.queues.(w) <- rest;
+      Some j
+  | [] ->
+      let victim = ref (-1) and best = ref 0 in
+      Array.iteri
+        (fun i q ->
+          let n = List.length q in
+          if i <> w && n > !best then begin
+            victim := i;
+            best := n
+          end)
+        p.queues;
+      if !victim < 0 then None
+      else begin
+        let q = p.queues.(!victim) in
+        let n = List.length q in
+        let j = List.nth q (n - 1) in
+        p.queues.(!victim) <- List.filteri (fun i _ -> i < n - 1) q;
+        p.steals <- p.steals + 1;
+        Some j
+      end
+
+let worker_body (p : ('a, 'b) t) (w : int) (init : unit -> 'a -> 'b) : unit =
+  (* [init] runs inside this domain: per-domain state (a worker actx,
+     the domain-local metrics/trace stores) is born here.  If it
+     raises, the worker still drains jobs — as errors — so the
+     coordinator's retry/in-process fallback handles it like a crashed
+     fork worker. *)
+  let run =
+    match init () with
+    | f -> f
+    | exception e ->
+        let msg = "worker init failed: " ^ Printexc.to_string e in
+        fun _ -> failwith msg
+  in
+  let rec loop () =
+    Mutex.lock p.mu;
+    let rec next () =
+      if p.stop then None
+      else
+        match take_job p w with
+        | Some j -> Some (p.epoch, j, p.jobs.(j))
+        | None ->
+            Condition.wait p.work p.mu;
+            next ()
+    in
+    match next () with
+    | None -> Mutex.unlock p.mu
+    | Some (epoch, j, job) ->
+        Mutex.unlock p.mu;
+        let r = try Ok (run job) with e -> Error (Printexc.to_string e) in
+        Mutex.lock p.mu;
+        (* a result from an abandoned batch is dropped on the floor *)
+        if p.epoch = epoch then begin
+          p.results.(j) <- Some r;
+          p.jobs_done <- p.jobs_done + 1;
+          Condition.signal p.done_c
+        end;
+        Mutex.unlock p.mu;
+        loop ()
+  in
+  loop ()
+
+(* The OCaml 5 runtime refuses Unix.fork in any process where a domain
+   has ever been spawned (even joined ones).  Spawning a domains pool
+   is therefore a one-way door for the fork backend; the scheduler
+   consults this latch so mixed workloads degrade instead of crashing. *)
+let spawned_ever = ref false
+
+let ever_spawned () = !spawned_ever
+
+let create ~(jobs : int) (init : unit -> 'a -> 'b) : ('a, 'b) t =
+  if jobs < 1 then invalid_arg "Dompool.create: jobs < 1";
+  spawned_ever := true;
+  let p =
+    {
+      d_size = jobs;
+      mu = Mutex.create ();
+      work = Condition.create ();
+      done_c = Condition.create ();
+      queues = Array.make jobs [];
+      epoch = 0;
+      jobs = [||];
+      results = [||];
+      jobs_done = 0;
+      jobs_total = 0;
+      steals = 0;
+      stop = false;
+      domains = [||];
+    }
+  in
+  p.domains <-
+    Array.init jobs (fun w -> Domain.spawn (fun () -> worker_body p w init));
+  p
+
+let shutdown (p : ('a, 'b) t) : unit =
+  Mutex.lock p.mu;
+  if not p.stop then begin
+    p.stop <- true;
+    (* abandon queued work; in-flight jobs run to completion *)
+    Array.fill p.queues 0 p.d_size [];
+    p.epoch <- p.epoch + 1;
+    Condition.broadcast p.work;
+    Mutex.unlock p.mu;
+    Array.iter Domain.join p.domains
+  end
+  else Mutex.unlock p.mu
+
+(** Run every job, returning results in job order.  [?timeout] is
+    ignored (domains cannot be killed; see the module comment).  The
+    resource budget is polled at every job completion: a trip abandons
+    the queued remainder (in-flight jobs finish and are discarded) and
+    re-raises — though the scheduler prefers the fork backend outright
+    whenever a budget is armed. *)
+let map ?timeout:_ (p : ('a, 'b) t) (job_list : 'a list) :
+    ('b, string) result list =
+  let jobs = Array.of_list job_list in
+  let n = Array.length jobs in
+  if n = 0 then []
+  else begin
+    Mutex.lock p.mu;
+    if p.stop then begin
+      Mutex.unlock p.mu;
+      invalid_arg "Dompool.map: pool is shut down"
+    end;
+    let steals0 = p.steals in
+    p.epoch <- p.epoch + 1;
+    p.jobs <- jobs;
+    p.results <- Array.make n None;
+    p.jobs_done <- 0;
+    p.jobs_total <- n;
+    (* deal round-robin: queue w holds indexes w, w+nw, ... ascending *)
+    for j = n - 1 downto 0 do
+      let w = j mod p.d_size in
+      p.queues.(w) <- j :: p.queues.(w)
+    done;
+    Condition.broadcast p.work;
+    let abandon e =
+      Array.fill p.queues 0 p.d_size [];
+      p.epoch <- p.epoch + 1;
+      Mutex.unlock p.mu;
+      raise e
+    in
+    (match Astree_robust.Budget.poll () with
+    | () -> ()
+    | exception e -> abandon e);
+    while p.jobs_done < p.jobs_total do
+      Condition.wait p.done_c p.mu;
+      match Astree_robust.Budget.poll () with
+      | () -> ()
+      | exception e -> abandon e
+    done;
+    let out = p.results in
+    let stolen = p.steals - steals0 in
+    p.jobs <- [||];
+    p.results <- [||];
+    p.jobs_total <- 0;
+    Mutex.unlock p.mu;
+    if stolen > 0 then Astree_obs.Metrics.add c_steals stolen;
+    Array.to_list out
+    |> List.map (function Some r -> r | None -> Error "unreachable")
+  end
+
+let with_pool ~(jobs : int) (init : unit -> 'a -> 'b)
+    (k : ('a, 'b) t -> 'c) : 'c =
+  let p = create ~jobs init in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> k p)

@@ -1,0 +1,43 @@
+(** Shared-memory worker pool on OCaml 5 domains: jobs and replies pass
+    by reference (no Marshal, so Ptmap physical sharing inside abstract
+    states survives the worker boundary), with per-worker run queues
+    and work stealing.  Results always come back in job order.
+
+    No per-job timeouts or crash isolation — a domain cannot be killed.
+    The scheduler routes to the fork {!Pool} when fault injection or a
+    resource budget is armed. *)
+
+type ('a, 'b) t
+
+(** Spawn [jobs] worker domains.  [init] is evaluated once {e inside}
+    each fresh domain to build its job function — per-domain state (a
+    worker analysis context, the domain-local metrics/trace stores) is
+    created there.  An [init] that raises turns every job that worker
+    runs into [Error _] (the caller's retry/fallback path applies).
+    @raise Invalid_argument if [jobs < 1]. *)
+val create : jobs:int -> (unit -> 'a -> 'b) -> ('a, 'b) t
+
+(** Whether this process has ever spawned a domains pool.  The OCaml 5
+    runtime refuses [Unix.fork] from then on (even after all domains
+    are joined), so the fork backend is permanently unavailable once
+    this holds — the scheduler consults it when resolving backends. *)
+val ever_spawned : unit -> bool
+
+val size : ('a, 'b) t -> int
+
+(** Run every job, returning results in job order whatever the
+    execution interleaving.  Jobs are dealt round-robin into per-worker
+    queues; idle workers steal from the back of the longest sibling
+    queue (counted by the [par.steals] metric).  [?timeout] is accepted
+    for interface compatibility with {!Pool.map} and ignored.  The
+    resource budget is polled at each job completion; a trip abandons
+    queued work and re-raises. *)
+val map : ?timeout:float -> ('a, 'b) t -> 'a list -> ('b, string) result list
+
+(** Stop the workers: queued work is abandoned, in-flight jobs finish,
+    domains are joined. *)
+val shutdown : ('a, 'b) t -> unit
+
+(** [with_pool ~jobs init k] runs [k] with a fresh pool, shutting it
+    down on exit. *)
+val with_pool : jobs:int -> (unit -> 'a -> 'b) -> (('a, 'b) t -> 'c) -> 'c

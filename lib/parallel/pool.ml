@@ -53,6 +53,9 @@ let worker_loop (f : 'a -> 'b) (ic : in_channel) (oc : out_channel) : unit =
         let reply : ('b, string) result =
           try Ok (f job) with e -> Error (Printexc.to_string e)
         in
+        (* the reply is serialized exactly once, whichever path writes
+           it: the truncation fault takes a string to cut in half, the
+           normal path streams straight to the channel *)
         if Faultsim.fires Faultsim.Reply_truncate then begin
           (* half a marshalled reply, then die: the parent must treat the
              short read as a crash, not deliver garbage *)
@@ -60,9 +63,11 @@ let worker_loop (f : 'a -> 'b) (ic : in_channel) (oc : out_channel) : unit =
           output_string oc (String.sub s 0 (max 1 (String.length s / 2)));
           flush oc;
           Unix._exit 3
+        end
+        else begin
+          Marshal.to_channel oc reply [];
+          flush oc
         end;
-        Marshal.to_channel oc reply [];
-        flush oc;
         loop ()
   in
   loop ()

@@ -133,10 +133,14 @@ let ok_reply pend (sv : Service.served) ~now =
 let status_reply st id ~now =
   Printf.sprintf
     "{\"id\": %s, \"status\": \"ok\", \"server\": {\"pid\": %d, \
-     \"uptime_s\": %.3f, \"workers\": %d, \"inflight\": %d, \
+     \"uptime_s\": %.3f, \"workers\": %d, \"backend\": \"fork\", \
+     \"inflight\": %d, \
      \"queued\": %d, \"served\": %d, \"shed\": %d, \"errors\": %d, \
      \"programs\": %d, \"draining\": %b}}"
     id (Unix.getpid ()) (now -. st.st_started)
+    (* the daemon's own request pool is always the fork pool — workers
+       must be killable and respawnable under foot; the analysis inside
+       a worker picks its backend per request (see Service.config_of) *)
     (Pool.size st.st_pool)
     (Hashtbl.length st.st_inflight)
     (Queue.length st.st_queue) st.st_served st.st_shed st.st_errors
