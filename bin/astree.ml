@@ -31,8 +31,9 @@ let print_json ?metrics ?interference (r : C.Analysis.result) : unit =
 
 let run files main tasks_opt no_oct no_ell no_dt no_clock no_lin no_thresholds
     unroll partitioned max_dt_bools useful_packs jobs par_backend cache_dir
-    cache_mem no_cache timeout max_mem connect format dump_invariants dump_census
-    slice_alarms profile trace_file metrics_file explain verbose =
+    cache_mem no_cache timeout max_mem connect retries no_fallback format
+    dump_invariants dump_census slice_alarms profile trace_file metrics_file
+    explain verbose =
   if files = [] then `Error (false, "no input files")
   else
     try
@@ -188,43 +189,56 @@ let run files main tasks_opt no_oct no_ell no_dt no_clock no_lin no_thresholds
              daemon does not serve the interference fixpoint)";
           in_process ()
       | Some sock when format = `Json && not local_only -> (
-          match Srv.Client.try_connect sock with
-          | None ->
+          let req =
+            Srv.Client.analyze_request_json ~sources ~main ~options ()
+          in
+          let policy =
+            { Astree_robust.Backoff.default with b_retries = max 0 retries }
+          in
+          match Srv.Client.request_retry ~policy sock req with
+          | Srv.Client.No_daemon ->
               (* byte-identical output either way: only the transport
                  differs, so the fallback is silent apart from stderr *)
+              if no_fallback then
+                `Error (false, "no daemon listening on " ^ sock)
+              else begin
+                prerr_endline
+                  ("astree: no daemon listening on " ^ sock
+                 ^ ", analyzing in-process");
+                in_process ()
+              end
+          | Srv.Client.Exhausted reason ->
+              (* the daemon exists but stayed unreachable or overloaded
+                 through the whole retry budget: exit 4, or analyze
+                 here — cold, but correct — when falling back is
+                 allowed *)
               prerr_endline
-                ("astree: no daemon listening on " ^ sock
-               ^ ", analyzing in-process");
-              in_process ()
-          | Some fd ->
-              Fun.protect
-                ~finally:(fun () -> Srv.Client.close fd)
-                (fun () ->
-                  let req =
-                    Srv.Client.analyze_request ~sources ~main ~options ()
-                  in
-                  match Srv.Client.roundtrip fd req with
-                  | Error msg -> `Error (false, "daemon: " ^ msg)
-                  | Ok line -> (
-                      let rep = Srv.Client.decode line in
-                      match (rep.Srv.Client.r_status, rep.Srv.Client.r_report)
-                      with
-                      | "ok", Some report ->
-                          print_string (report ^ "\n");
-                          `Ok rep.Srv.Client.r_exit
-                      | "ok", None ->
-                          `Error (false, "daemon: malformed reply")
-                      | ("shed" | "shutting_down"), _ ->
-                          prerr_endline
-                            ("astree: daemon refused the request ("
-                            ^ rep.Srv.Client.r_status ^ ")");
-                          `Ok 4
-                      | _ ->
-                          `Error
-                            ( false,
-                              "daemon: "
-                              ^ Option.value ~default:"unknown error"
-                                  rep.Srv.Client.r_error ))))
+                ("astree: daemon unavailable after " ^ string_of_int retries
+               ^ " retries (" ^ reason ^ ")");
+              if no_fallback then `Ok 4
+              else begin
+                prerr_endline "astree: analyzing in-process";
+                in_process ()
+              end
+          | Srv.Client.Reply rep -> (
+              match (rep.Srv.Client.r_status, rep.Srv.Client.r_report) with
+              | "ok", Some report ->
+                  print_string (report ^ "\n");
+                  `Ok rep.Srv.Client.r_exit
+              | "ok", None -> `Error (false, "daemon: malformed reply")
+              | ("shed" | "shutting_down"), _ ->
+                  (* unreachable with retries > 0 (request_retry retries
+                     these), kept for a zero-retry policy *)
+                  prerr_endline
+                    ("astree: daemon refused the request ("
+                    ^ rep.Srv.Client.r_status ^ ")");
+                  `Ok 4
+              | _ ->
+                  `Error
+                    ( false,
+                      "daemon: "
+                      ^ Option.value ~default:"unknown error"
+                          rep.Srv.Client.r_error )))
       | Some _ ->
           (* text output and the report extras need the result value in
              this process *)
@@ -280,7 +294,9 @@ let cmd =
         $ flag "no-cache" "Disable the summary cache, overriding $(b,--cache) and $(b,--cache-mem)"
         $ Arg.(value & opt float 0. & info [ "timeout" ] ~docv:"SECS" ~doc:"Wall-clock budget for the analysis; on overrun, precision is shed soundly (degraded exit code 3) instead of aborting (0 = unbounded)")
         $ Arg.(value & opt int 0 & info [ "max-mem" ] ~docv:"MB" ~doc:"Major-heap watermark in MiB, with the same sound degradation as $(b,--timeout) (0 = unbounded)")
-        $ Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"SOCK" ~doc:"Delegate the analysis to the astreed daemon listening on $(docv) (warm caches, exit code 4 if it sheds the request); silently analyze in-process when no daemon is there")
+        $ Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"SOCK" ~doc:"Delegate the analysis to the astreed daemon listening on $(docv) (warm caches); shed replies and connection failures are retried with backoff, then the analysis falls back in-process (exit code 4 with $(b,--no-fallback)); silently analyze in-process when no daemon was ever there")
+        $ Arg.(value & opt int 4 & info [ "retries" ] ~docv:"N" ~doc:"Retry budget for $(b,--connect): shed replies, resets and restarting daemons are retried up to $(docv) times with jittered exponential backoff honoring the daemon's $(b,retry_after_s) hint")
+        $ flag "no-fallback" "With $(b,--connect): never analyze in-process; exit 2 when no daemon exists, 4 when the retry budget is exhausted"
         $ Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json) (one object with alarms, stats and the result fingerprint)")
         $ flag "dump-invariants" "Print loop invariants"
         $ flag "census" "Print the main-loop invariant census (Sect. 9.4.1)"

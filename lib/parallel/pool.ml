@@ -72,6 +72,15 @@ let worker_loop (f : 'a -> 'b) (ic : in_channel) (oc : out_channel) : unit =
   in
   loop ()
 
+(* An event-loop caller holds descriptors a worker must not inherit:
+   the daemon's client sockets in particular, where a worker's stale
+   copy keeps the kernel from delivering EOF after the daemon closes a
+   connection, wedging the peer.  The hook runs once in each freshly
+   forked child and is cleared there first, so a worker that builds a
+   nested pool cannot re-close descriptor numbers its own process has
+   since reused. *)
+let at_child_fork : (unit -> unit) option ref = ref None
+
 (** Fork one worker.  [foreign] lists parent-side descriptors of the
     other live workers: the child closes them so that closing a job
     pipe in the parent always delivers EOF to its worker. *)
@@ -85,6 +94,11 @@ let spawn (f : 'a -> 'b) (foreign : Unix.file_descr list) : worker =
       Unix.close job_w;
       Unix.close res_r;
       List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) foreign;
+      (match !at_child_fork with
+      | Some hook ->
+          at_child_fork := None;
+          (try hook () with _ -> ())
+      | None -> ());
       (* re-dispatch from a forked child is prevented in the worker fn
          itself ([Iterator.par_run_job] clears its session's par hook) *)
       let ic = Unix.in_channel_of_descr job_r in

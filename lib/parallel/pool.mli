@@ -7,6 +7,14 @@
 
 type ('a, 'b) t
 
+val at_child_fork : (unit -> unit) option ref
+(** Hook run once inside every freshly forked worker, cleared there
+    before it runs.  An event-loop caller (the analysis daemon)
+    registers a closure that closes its listening and client sockets:
+    a worker outliving a connection would otherwise hold the write
+    side open and keep the peer from ever seeing EOF.  Exceptions from
+    the hook are swallowed. *)
+
 (** Fork [jobs] workers, each serving jobs with [f].
     @raise Invalid_argument if [jobs < 1]. *)
 val create : jobs:int -> ('a -> 'b) -> ('a, 'b) t

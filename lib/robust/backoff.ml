@@ -1,0 +1,56 @@
+(* Bounded, jittered exponential backoff.  See backoff.mli. *)
+
+type policy = {
+  b_base : float;
+  b_factor : float;
+  b_max : float;
+  b_jitter : float;
+  b_retries : int;
+}
+
+let default =
+  { b_base = 0.1; b_factor = 2.0; b_max = 10.0; b_jitter = 0.25; b_retries = 4 }
+
+let supervisor =
+  {
+    b_base = 0.2;
+    b_factor = 2.0;
+    b_max = 30.0;
+    b_jitter = 0.1;
+    b_retries = max_int;
+  }
+
+(* splitmix64 finalizer, as in Faultsim: deterministic jitter with no
+   global RNG state to perturb *)
+let mix64 (z : int64) : int64 =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let delay (p : policy) ~(seed : int) ~(attempt : int) : float =
+  let attempt = max 0 attempt in
+  (* compute the cap in log space: factor^attempt overflows to infinity
+     harmlessly, but stay exact for the small attempts that matter *)
+  let raw = p.b_base *. (p.b_factor ** float_of_int attempt) in
+  let capped = Float.min p.b_max raw in
+  if p.b_jitter <= 0. then capped
+  else
+    let h =
+      mix64
+        (Int64.logxor
+           (Int64.of_int ((seed * 1_000_003) + attempt))
+           0x9e3779b97f4a7c15L)
+    in
+    (* 53 uniform bits -> [0, 1) -> [1-j, 1+j] *)
+    let u =
+      Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+    in
+    capped *. (1. -. p.b_jitter +. (2. *. p.b_jitter *. u))
+
+let sleep (p : policy) ~(seed : int) ~(attempt : int) : unit =
+  let d = delay p ~seed ~attempt in
+  if d > 0. then
+    (* EINTR shortens the sleep: a signal (the supervisor forwarding
+       SIGTERM, say) must not turn into an exception mid-backoff *)
+    try Unix.sleepf d with Unix.Unix_error (Unix.EINTR, _, _) -> ()

@@ -1,0 +1,35 @@
+(** Bounded, jittered exponential backoff.
+
+    One policy value describes a whole retry schedule: attempt [k]
+    sleeps [base * factor^k] seconds, capped at [max], with a
+    deterministic multiplicative jitter of up to [±jitter] drawn from
+    [(seed, attempt)] — the same seed replays the same schedule, so
+    retry behavior is testable to the millisecond.  Shared by the
+    daemon supervisor (restart pacing) and the client (retry on
+    shed / connection reset). *)
+
+type policy = {
+  b_base : float;    (** first delay, seconds *)
+  b_factor : float;  (** growth per attempt ([>= 1.]) *)
+  b_max : float;     (** delay ceiling, seconds *)
+  b_jitter : float;  (** jitter fraction in [0, 1): the delay is scaled
+                         by a factor in [1-jitter, 1+jitter] *)
+  b_retries : int;   (** attempts before giving up (callers' loop bound;
+                         {!delay} itself accepts any attempt number) *)
+}
+
+val default : policy
+(** 4 retries: 0.1s, 0.2s, 0.4s, 0.8s, ±25% jitter, 10s cap. *)
+
+val supervisor : policy
+(** Restart pacing for the daemon supervisor: 0.2s base, doubling,
+    30s cap, ±10% jitter, unlimited in spirit ([b_retries] is large —
+    the supervisor keeps a service alive, it does not give up). *)
+
+val delay : policy -> seed:int -> attempt:int -> float
+(** The jittered delay of [attempt] (0-based).  Pure: the same
+    [(policy, seed, attempt)] triple always yields the same value. *)
+
+val sleep : policy -> seed:int -> attempt:int -> unit
+(** [Unix.sleepf (delay ...)], EINTR-tolerant (a signal shortens the
+    sleep instead of raising). *)

@@ -32,12 +32,24 @@ type reply = {
   r_status : string;          (** ok | error | shed | shutting_down *)
   r_exit : int;               (** exit code for ok analyze replies *)
   r_error : string option;
+  r_retry_after : float option;
+      (** shed replies: the daemon's pacing hint, seconds *)
   r_report : string option;   (** raw report bytes, analyze replies *)
   r_line : string;            (** the full reply line *)
 }
 
 val decode : string -> reply
 val reply_report : string -> string option
+
+val analyze_request_json :
+  ?id:int ->
+  sources:(string * string) list ->
+  main:string ->
+  options:Service.options ->
+  unit ->
+  Json.t
+(** One analyze request as a JSON value (for {!request} and
+    {!request_retry}). *)
 
 val analyze_request :
   ?id:int ->
@@ -51,3 +63,25 @@ val analyze_request :
 val request : string -> Json.t -> (reply, string) result
 (** One-shot convenience: connect to socket [path], send the request
     object, decode the reply, close. *)
+
+(** Result of a {!request_retry}: a definitive reply, "nothing ever
+    listened here" (in-process fallback applies), or the retry budget
+    ran out while the daemon stayed unreachable or overloaded. *)
+type outcome = Reply of reply | No_daemon | Exhausted of string
+
+val request_retry :
+  ?policy:Astree_robust.Backoff.policy ->
+  ?seed:int ->
+  string ->
+  Json.t ->
+  outcome
+(** Like {!request}, but resilient: connection failures, torn replies
+    and [shed]/[shutting_down] responses are retried up to
+    [policy.b_retries] times with jittered exponential backoff
+    (default {!Astree_robust.Backoff.default}: 4 retries from 0.1s).
+    A shed reply's [retry_after_s] hint overrides the ladder for that
+    wait.  [No_daemon] is returned only when the very first connect
+    fails {e and} no socket file exists — a crashed-but-supervised
+    daemon leaves its socket linked, which reads as "restarting, be
+    patient" rather than "fall back".  Each retry bumps the
+    [srv.retries] metrics counter. *)

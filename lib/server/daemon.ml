@@ -3,14 +3,15 @@
    See daemon.mli for the protocol and shutdown contract.
 
    Single-threaded by construction: every state mutation happens in the
-   event loop, so admission control, delta absorption and shutdown need
-   no locking.  The analyses themselves run in forked pool workers, one
-   request per worker at a time. *)
+   event loop, so admission control, delta absorption, checkpointing
+   and shutdown need no locking.  The analyses themselves run in forked
+   pool workers, one request per worker at a time. *)
 
 module C = Astree_core
 module Pool = Astree_parallel.Pool
 module Store = Astree_incremental.Store
 module Budget = Astree_robust.Budget
+module Faultsim = Astree_robust.Faultsim
 module Metrics = Astree_obs.Metrics
 module Trace = Astree_obs.Trace
 
@@ -24,6 +25,17 @@ type config = {
   d_max_programs : int;
   d_grace : float;
   d_verbose : bool;
+  d_client_quota : int;
+  d_breaker_n : int;
+  d_breaker_cooldown : float;
+  d_checkpoint : string option;
+  d_checkpoint_s : float;
+  d_config_file : string option;
+  d_default_jobs : int;
+  d_default_backend : C.Config.backend;
+  d_restarts : int;
+  d_supervised : bool;
+  d_sup_started : float;
 }
 
 let default : config =
@@ -37,44 +49,126 @@ let default : config =
     d_max_programs = 32;
     d_grace = 60.;
     d_verbose = false;
+    d_client_quota = 0;
+    d_breaker_n = 3;
+    d_breaker_cooldown = 30.;
+    d_checkpoint = None;
+    d_checkpoint_s = 5.;
+    d_config_file = None;
+    d_default_jobs = 0;
+    d_default_backend = `Auto;
+    d_restarts = 0;
+    d_supervised = false;
+    d_sup_started = 0.;
   }
 
-(* ---- connections ------------------------------------------------- *)
+(* ---- hot-reloadable configuration -------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* only admission-time knobs are reloadable: the socket, worker count
+   and checkpoint file identify the daemon instance and stay fixed *)
+let overlay_config (cfg : config) (j : Json.t) : config =
+  let num key dflt = Option.value ~default:dflt (Json.to_num (Json.member key j)) in
+  let int key dflt = Option.value ~default:dflt (Json.to_int (Json.member key j)) in
+  {
+    cfg with
+    d_queue_depth = int "queue_depth" cfg.d_queue_depth;
+    d_grace = num "grace" cfg.d_grace;
+    d_timeout = num "timeout" cfg.d_timeout;
+    d_max_mem = int "max_mem" cfg.d_max_mem;
+    d_client_quota = int "client_quota" cfg.d_client_quota;
+    d_default_jobs = int "jobs" cfg.d_default_jobs;
+    d_default_backend =
+      (match Json.to_str (Json.member "backend" j) with
+      | Some s ->
+          Option.value ~default:cfg.d_default_backend
+            (C.Config.backend_of_string s)
+      | None -> cfg.d_default_backend);
+    d_checkpoint_s = num "checkpoint_period" cfg.d_checkpoint_s;
+    d_breaker_n = int "breaker_crashes" cfg.d_breaker_n;
+    d_breaker_cooldown = num "breaker_cooldown" cfg.d_breaker_cooldown;
+  }
+
+let load_config_file (cfg : config) (file : string) : (config, string) result =
+  match read_file file with
+  | exception Sys_error msg -> Error msg
+  | s -> (
+      match Json.parse s with
+      | Error msg -> Error (file ^ ": " ^ msg)
+      | Ok j -> Ok (overlay_config cfg j))
+
+(* ---- metrics ------------------------------------------------------ *)
+
+let m_requests = Metrics.counter "srv.requests"
+let m_shed = Metrics.counter "srv.shed"
+let m_dedup = Metrics.counter "srv.dedup_hits"
+let m_breaker = Metrics.counter "srv.breaker_open"
+let m_ckpt_saves = Metrics.counter "srv.checkpoint.saves"
+
+(* ---- connections and requests ------------------------------------ *)
+
+type entries = (C.Iterator.summary_key * C.Iterator.summary) list
 
 type conn = {
   c_fd : Unix.file_descr;
   c_buf : Buffer.t;          (* bytes read, not yet line-terminated *)
   mutable c_alive : bool;
+  c_queue : pending Queue.t; (* this client's admitted-but-waiting jobs *)
 }
 
-type pending = {
-  p_conn : conn;
-  p_id : string;             (* the request id, already rendered *)
+(* a client waiting for one job's reply; several waiters share a
+   pending when identical requests were deduplicated onto one worker *)
+and waiter = {
+  wt_conn : conn;
+  wt_id : string;            (* the request id, already rendered *)
+  wt_received : float;
+}
+
+and pending = {
   p_work : Service.work;
   p_digest : string;         (* source digest, keys the resident store *)
-  p_received : float;
+  p_key : string;            (* digest + wire options: the dedup key *)
+  mutable p_waiters : waiter list;  (* newest first *)
 }
 
-type entries = (C.Iterator.summary_key * C.Iterator.summary) list
-
 type state = {
-  st_cfg : config;
+  mutable st_cfg : config;
+  mutable st_gen : int;      (* config generation, bumped by SIGHUP *)
   st_pool : (Service.work, Service.outcome) Pool.t;
   mutable st_listen : Unix.file_descr option;
   mutable st_conns : conn list;
   st_inflight : (int, pending) Hashtbl.t;       (* pool slot -> request *)
-  st_queue : pending Queue.t;
+  st_keys : (string, int) Hashtbl.t;            (* dedup key -> pool slot *)
+  st_rr : conn Queue.t;      (* round-robin dispatch order; a conn is
+                                present at most once, iff its queue may
+                                be nonempty *)
+  mutable st_queued : int;   (* total requests across all conn queues *)
   (* resident summary store: source digest -> per-store-key tables,
      merged keep-first (keys self-identify config and entry state, so
      colliding entries are equal) *)
   st_tables : (string, (string * entries) list ref) Hashtbl.t;
   st_order : string Queue.t;                    (* digest insertion order *)
+  (* circuit breaker: digest -> (consecutive crashes, last crash time) *)
+  st_breaker : (string, int * float) Hashtbl.t;
+  st_lat : float array;      (* ring of recent analysis times (p50) *)
+  mutable st_lat_n : int;
   st_started : float;
   mutable st_draining : bool;
   mutable st_drain_t : float;
   mutable st_served : int;
   mutable st_shed : int;
   mutable st_errors : int;
+  mutable st_dedup : int;
+  mutable st_breaker_rejects : int;
+  mutable st_recovered : int;       (* programs warm from a checkpoint *)
+  mutable st_ckpt_saves : int;
+  mutable st_ckpt_dirty : bool;
+  mutable st_ckpt_t : float;
 }
 
 let log st fmt =
@@ -95,13 +189,33 @@ let close_conn st conn =
   if conn.c_alive then begin
     conn.c_alive <- false;
     (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
-    st.st_conns <- List.filter (fun c -> c != conn) st.st_conns
+    st.st_conns <- List.filter (fun c -> c != conn) st.st_conns;
+    (* queued work of a dead client is dropped; any st_rr entry for the
+       conn becomes a no-op the dispatcher skips *)
+    st.st_queued <- st.st_queued - Queue.length conn.c_queue;
+    Queue.clear conn.c_queue
   end
 
 let reply st conn (line : string) =
   if conn.c_alive then
-    try write_all conn.c_fd (line ^ "\n") 0
-    with Unix.Unix_error _ -> close_conn st conn
+    if Faultsim.fires Faultsim.Conn_drop then begin
+      (* the connection dies instead of the reply arriving: the client
+         sees a reset and must retry *)
+      log st "fault injection: dropping connection before reply";
+      close_conn st conn
+    end
+    else if Faultsim.fires Faultsim.Reply_partial then begin
+      (* a torn wire write: half the line, then the connection dies.
+         The client's reader sees an unterminated line + EOF. *)
+      log st "fault injection: writing partial reply";
+      let s = line ^ "\n" in
+      (try write_all conn.c_fd (String.sub s 0 (String.length s / 2)) 0
+       with Unix.Unix_error _ -> ());
+      close_conn st conn
+    end
+    else
+      try write_all conn.c_fd (line ^ "\n") 0
+      with Unix.Unix_error _ -> close_conn st conn
 
 (* ---- reply rendering --------------------------------------------- *)
 
@@ -109,26 +223,38 @@ let error_reply id msg =
   Printf.sprintf "{\"id\": %s, \"status\": \"error\", \"error\": %s}" id
     (Report.json_str msg)
 
-let shed_reply id =
+let shed_reply ?(error = "queue full") id ~retry_after =
   Printf.sprintf
-    "{\"id\": %s, \"status\": \"shed\", \"error\": \"queue full\"}" id
+    "{\"id\": %s, \"status\": \"shed\", \"error\": %s, \
+     \"retry_after_s\": %.3f}"
+    id (Report.json_str error) retry_after
 
 let shutting_down_reply id =
   Printf.sprintf "{\"id\": %s, \"status\": \"shutting_down\"}" id
 
 (* the report is spliced in verbatim and kept last, so clients can
    extract the exact bytes without reserializing *)
-let ok_reply pend (sv : Service.served) ~now =
-  let wait = Float.max 0. (now -. pend.p_received -. sv.sv_time) in
+let ok_reply ~id ~received ~preloaded (sv : Service.served) ~now =
+  let wait = Float.max 0. (now -. received -. sv.Service.sv_time) in
   Printf.sprintf
     "{\"id\": %s, \"status\": \"ok\", \"exit\": %d, \"server\": \
      {\"wait_s\": %.6f, \"analysis_s\": %.6f, \"preloaded\": %d, \
      \"events\": %d, \"metrics\": %s}, \"report\": %s}"
-    pend.p_id sv.sv_exit wait sv.sv_time
-    (List.length pend.p_work.Service.w_preload)
+    id sv.sv_exit wait sv.sv_time preloaded
     (List.length sv.sv_events)
     (Metrics.render_snapshot_json ~timers:false sv.sv_metrics)
     sv.sv_report
+
+let open_breakers st ~now =
+  if st.st_cfg.d_breaker_n <= 0 then 0
+  else
+    Hashtbl.fold
+      (fun _ (n, t) acc ->
+        if n >= st.st_cfg.d_breaker_n
+           && now -. t < st.st_cfg.d_breaker_cooldown
+        then acc + 1
+        else acc)
+      st.st_breaker 0
 
 let status_reply st id ~now =
   Printf.sprintf
@@ -136,15 +262,24 @@ let status_reply st id ~now =
      \"uptime_s\": %.3f, \"workers\": %d, \"backend\": \"fork\", \
      \"inflight\": %d, \
      \"queued\": %d, \"served\": %d, \"shed\": %d, \"errors\": %d, \
-     \"programs\": %d, \"draining\": %b}}"
+     \"programs\": %d, \"draining\": %b, \"supervised\": %b, \
+     \"restarts\": %d, \"supervisor_uptime_s\": %.3f, \
+     \"config_generation\": %d, \"queue_depth\": %d, \
+     \"dedup_hits\": %d, \"breaker_open\": %d, \"breaker_rejects\": %d, \
+     \"recovered\": %d, \"checkpoints\": %d}}"
     id (Unix.getpid ()) (now -. st.st_started)
     (* the daemon's own request pool is always the fork pool — workers
        must be killable and respawnable under foot; the analysis inside
        a worker picks its backend per request (see Service.config_of) *)
     (Pool.size st.st_pool)
     (Hashtbl.length st.st_inflight)
-    (Queue.length st.st_queue) st.st_served st.st_shed st.st_errors
+    st.st_queued st.st_served st.st_shed st.st_errors
     (Hashtbl.length st.st_tables) st.st_draining
+    st.st_cfg.d_supervised st.st_cfg.d_restarts
+    (if st.st_cfg.d_sup_started > 0. then now -. st.st_cfg.d_sup_started
+     else 0.)
+    st.st_gen st.st_cfg.d_queue_depth st.st_dedup (open_breakers st ~now)
+    st.st_breaker_rejects st.st_recovered st.st_ckpt_saves
 
 let metrics_reply id =
   Printf.sprintf "{\"id\": %s, \"status\": \"ok\", \"metrics\": %s}" id
@@ -185,7 +320,8 @@ let absorb_tables st digest (tables : (string * entries) list) =
         in
         if fresh <> [] || existing = [] then
           slot := (key, existing @ fresh) :: List.remove_assoc key !slot)
-      tables
+      tables;
+    st.st_ckpt_dirty <- true
   end
 
 let flush_store st =
@@ -200,7 +336,87 @@ let flush_store st =
             !tables)
         st.st_tables
 
+(* ---- warm-state checkpoint --------------------------------------- *)
+
+(* v1: (digest * (store_key * entries) list) list, in insertion order *)
+let ckpt_magic = "astree-daemon-ckpt v1\n"
+
+type ckpt = (string * (string * entries) list) list
+
+let save_checkpoint st ~now ~force =
+  match st.st_cfg.d_checkpoint with
+  | None -> ()
+  | Some file ->
+      if
+        st.st_ckpt_dirty
+        && (force || now -. st.st_ckpt_t >= st.st_cfg.d_checkpoint_s)
+      then begin
+        if !Trace.enabled then Trace.span_begin "srv.checkpoint";
+        let data : ckpt =
+          Queue.fold
+            (fun acc digest ->
+              match Hashtbl.find_opt st.st_tables digest with
+              | Some tables -> (digest, !tables) :: acc
+              | None -> acc)
+            [] st.st_order
+          |> List.rev
+        in
+        Store.save_blob ~file ~magic:ckpt_magic data;
+        st.st_ckpt_saves <- st.st_ckpt_saves + 1;
+        st.st_ckpt_dirty <- false;
+        st.st_ckpt_t <- now;
+        Metrics.incr m_ckpt_saves;
+        Metrics.set_gauge "srv.checkpoint.entries" (List.length data);
+        if !Trace.enabled then Trace.span_end "srv.checkpoint";
+        log st "checkpointed %d program(s) to %s" (List.length data) file
+      end
+
+let load_checkpoint st =
+  match st.st_cfg.d_checkpoint with
+  | None -> ()
+  | Some file -> (
+      match (Store.load_blob ~file ~magic:ckpt_magic : ckpt option) with
+      | None -> ()
+      | Some data ->
+          List.iter
+            (fun (digest, tables) -> absorb_tables st digest tables)
+            data;
+          (* the recovered state is exactly what the file said: nothing
+             to write back until a request changes it *)
+          st.st_recovered <- Hashtbl.length st.st_tables;
+          st.st_ckpt_dirty <- false;
+          Metrics.set_gauge "srv.checkpoint.entries" st.st_recovered;
+          log st "recovered %d warm program(s) from %s" st.st_recovered file)
+
 (* ---- admission --------------------------------------------------- *)
+
+let quota st =
+  if st.st_cfg.d_client_quota > 0 then st.st_cfg.d_client_quota
+  else max 1 (st.st_cfg.d_queue_depth / 2)
+
+(* estimated time until a worker frees up: how much work is ahead of a
+   retrying client, paced by the recent median analysis time.  Clamped
+   to keep pathological estimates from parking clients for minutes. *)
+let retry_after st =
+  let n = min st.st_lat_n (Array.length st.st_lat) in
+  let p50 =
+    if n = 0 then 0.1
+    else begin
+      let a = Array.sub st.st_lat 0 n in
+      Array.sort compare a;
+      a.(n / 2)
+    end
+  in
+  let ahead = st.st_queued + Hashtbl.length st.st_inflight + 1 in
+  let est =
+    float_of_int ahead *. p50
+    /. float_of_int (max 1 (Pool.size st.st_pool))
+  in
+  Float.min 60. (Float.max 0.05 est)
+
+let record_latency st t =
+  st.st_lat.(st.st_lat_n mod Array.length st.st_lat) <- t;
+  st.st_lat_n <- st.st_lat_n + 1
 
 let hard_deadline (pend : pending) =
   let t = pend.p_work.Service.w_options.Service.o_timeout in
@@ -217,6 +433,7 @@ let try_submit st pend : bool =
       with
       | Some slot ->
           Hashtbl.replace st.st_inflight slot pend;
+          Hashtbl.replace st.st_keys pend.p_key slot;
           true
       | None ->
           (* all busy — or a dead pipe was respawned; retry in the
@@ -225,41 +442,96 @@ let try_submit st pend : bool =
   in
   go (Pool.size st.st_pool)
 
-let drain_queue st =
-  let rec go () =
-    if (not (Queue.is_empty st.st_queue)) && Pool.idle_slots st.st_pool > 0
-    then begin
-      let pend = Queue.pop st.st_queue in
-      if try_submit st pend then go ()
-      else begin
-        (* no worker took it after all: put it back at the front *)
-        let rest = Queue.create () in
-        Queue.transfer st.st_queue rest;
-        Queue.push pend st.st_queue;
-        Queue.transfer rest st.st_queue
-      end
-    end
-  in
-  go ()
+(* attach a late identical request to the in-flight job computing it *)
+let attach st slot pend =
+  match Hashtbl.find_opt st.st_inflight slot with
+  | None -> ()
+  | Some head ->
+      let n = List.length pend.p_waiters in
+      head.p_waiters <- pend.p_waiters @ head.p_waiters;
+      st.st_dedup <- st.st_dedup + n;
+      Metrics.add m_dedup n;
+      log st "dedup: %d request(s) attached to in-flight job" n
 
-let admit st pend =
-  if st.st_draining then reply st pend.p_conn (shutting_down_reply pend.p_id)
-  else if try_submit st pend then ()
-  else if Queue.length st.st_queue < st.st_cfg.d_queue_depth then
-    Queue.push pend st.st_queue
-  else begin
-    st.st_shed <- st.st_shed + 1;
-    log st "shed request %s (queue full)" pend.p_id;
-    reply st pend.p_conn (shed_reply pend.p_id)
-  end
+let requeue_front conn pend =
+  let rest = Queue.create () in
+  Queue.transfer conn.c_queue rest;
+  Queue.push pend conn.c_queue;
+  Queue.transfer rest conn.c_queue
+
+(* round-robin dispatch: one queued job per client per turn, so a
+   client that batched fifty requests cannot starve the one that sent
+   one.  Dedup is re-checked at dispatch: an identical job may have
+   been submitted while this one waited. *)
+let rec drain_queue st =
+  if st.st_queued > 0 && Pool.idle_slots st.st_pool > 0 then
+    match Queue.take_opt st.st_rr with
+    | None -> ()  (* only dead conns held queued work; accounting reset *)
+    | Some conn ->
+        if (not conn.c_alive) || Queue.is_empty conn.c_queue then
+          drain_queue st
+        else begin
+          let pend = Queue.pop conn.c_queue in
+          st.st_queued <- st.st_queued - 1;
+          let requeued_conn = not (Queue.is_empty conn.c_queue) in
+          if requeued_conn then Queue.push conn st.st_rr;
+          match Hashtbl.find_opt st.st_keys pend.p_key with
+          | Some slot when Hashtbl.mem st.st_inflight slot ->
+              attach st slot pend;
+              drain_queue st
+          | _ ->
+              if try_submit st pend then drain_queue st
+              else begin
+                (* no worker took it after all: put it back in front *)
+                requeue_front conn pend;
+                st.st_queued <- st.st_queued + 1;
+                if not requeued_conn then Queue.push conn st.st_rr
+              end
+        end
+
+let admit st conn pend ~now =
+  ignore now;
+  if st.st_draining then
+    List.iter
+      (fun w -> reply st w.wt_conn (shutting_down_reply w.wt_id))
+      pend.p_waiters
+  else
+    match Hashtbl.find_opt st.st_keys pend.p_key with
+    | Some slot when Hashtbl.mem st.st_inflight slot ->
+        (* an identical request is already running: share its worker *)
+        attach st slot pend
+    | _ ->
+        if try_submit st pend then ()
+        else if st.st_queued >= st.st_cfg.d_queue_depth then begin
+          st.st_shed <- st.st_shed + 1;
+          Metrics.incr m_shed;
+          let retry_after = retry_after st in
+          List.iter
+            (fun w ->
+              log st "shed request %s (queue full)" w.wt_id;
+              reply st w.wt_conn (shed_reply w.wt_id ~retry_after))
+            pend.p_waiters
+        end
+        else if Queue.length conn.c_queue >= quota st then begin
+          (* fairness: this client already holds its share of the queue *)
+          st.st_shed <- st.st_shed + 1;
+          Metrics.incr m_shed;
+          let retry_after = retry_after st in
+          List.iter
+            (fun w ->
+              log st "shed request %s (client quota)" w.wt_id;
+              reply st w.wt_conn
+                (shed_reply ~error:"client quota exceeded" w.wt_id
+                   ~retry_after))
+            pend.p_waiters
+        end
+        else begin
+          Queue.push pend conn.c_queue;
+          st.st_queued <- st.st_queued + 1;
+          if Queue.length conn.c_queue = 1 then Queue.push conn st.st_rr
+        end
 
 (* ---- request handling -------------------------------------------- *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 let request_sources (j : Json.t) : ((string * string) list, string) result =
   match Json.to_list (Json.member "files" j) with
@@ -290,9 +562,13 @@ let request_sources (j : Json.t) : ((string * string) list, string) result =
       | None -> Error "analyze needs \"files\" or \"path\"")
 
 let handle_analyze st conn id (j : Json.t) ~now =
+  Metrics.incr m_requests;
+  (* the supervisor's reason to exist: the daemon can die abruptly at
+     the worst moment — mid-admission, request unreplied *)
+  if Faultsim.fires Faultsim.Daemon_crash then Unix._exit 70;
   match request_sources j with
   | Error msg -> reply st conn (error_reply id msg)
-  | Ok sources ->
+  | Ok sources -> (
       let main =
         Option.value ~default:"main" (Json.to_str (Json.member "main" j))
       in
@@ -307,40 +583,67 @@ let handle_analyze st conn id (j : Json.t) ~now =
           o_max_mem =
             (if o.Service.o_max_mem > 0 then o.Service.o_max_mem
              else st.st_cfg.d_max_mem);
+          o_jobs =
+            (if o.Service.o_jobs > 0 then o.Service.o_jobs
+             else st.st_cfg.d_default_jobs);
+          o_backend =
+            (if o.Service.o_backend <> `Auto then o.Service.o_backend
+             else st.st_cfg.d_default_backend);
         }
       in
       let digest = Service.source_digest ~main sources in
-      (* requests that did not pick a cache run against the resident
-         store (plus the on-disk one when the daemon persists), with
-         the counters stripped from the report for parity with a
-         cache-less one-shot run.  An explicit cache choice is honored
-         verbatim — including no preload — so the reply matches the
-         equivalent one-shot exactly. *)
-      let o, strip, preload =
-        if o.Service.o_cache = `Default then
-          let c =
-            match st.st_cfg.d_cache_dir with
-            | Some dir -> `Dir dir
-            | None -> `Mem
+      (* circuit breaker: a program whose analysis crashed the worker
+         [d_breaker_n] times in a row is refused with a clean error
+         instead of burning another respawn; after the cooldown one
+         probe request is let through (half-open) *)
+      match Hashtbl.find_opt st.st_breaker digest with
+      | Some (n, t)
+        when st.st_cfg.d_breaker_n > 0
+             && n >= st.st_cfg.d_breaker_n
+             && now -. t < st.st_cfg.d_breaker_cooldown ->
+          st.st_breaker_rejects <- st.st_breaker_rejects + 1;
+          reply st conn
+            (error_reply id
+               (Printf.sprintf
+                  "circuit breaker open: analysis crashed %d times in a \
+                   row for this program; retrying in %.0fs"
+                  n
+                  (st.st_cfg.d_breaker_cooldown -. (now -. t))))
+      | _ ->
+          (* requests that did not pick a cache run against the resident
+             store (plus the on-disk one when the daemon persists), with
+             the counters stripped from the report for parity with a
+             cache-less one-shot run.  An explicit cache choice is
+             honored verbatim — including no preload — so the reply
+             matches the equivalent one-shot exactly. *)
+          let o, strip, preload =
+            if o.Service.o_cache = `Default then
+              let c =
+                match st.st_cfg.d_cache_dir with
+                | Some dir -> `Dir dir
+                | None -> `Mem
+              in
+              ({ o with Service.o_cache = c }, true, resident_preload st digest)
+            else (o, false, [])
           in
-          ({ o with Service.o_cache = c }, true, resident_preload st digest)
-        else (o, false, [])
-      in
-      admit st
-        {
-          p_conn = conn;
-          p_id = id;
-          p_work =
+          let work =
             {
               Service.w_sources = sources;
               w_main = main;
               w_options = o;
               w_preload = preload;
               w_strip_cache = strip;
-            };
-          p_digest = digest;
-          p_received = now;
-        }
+            }
+          in
+          admit st conn
+            {
+              p_work = work;
+              p_digest = digest;
+              p_key =
+                digest ^ "|" ^ Json.to_string (Service.options_to_json o);
+              p_waiters = [ { wt_conn = conn; wt_id = id; wt_received = now } ];
+            }
+            ~now)
 
 let handle_line st conn (line : string) ~now =
   match Json.parse line with
@@ -376,7 +679,7 @@ let handle_readable st conn ~now =
             Buffer.add_string conn.c_buf partial
         | line :: rest ->
             if String.trim line <> "" then handle_line st conn line ~now;
-            go rest
+            if conn.c_alive then go rest
       in
       go lines
 
@@ -387,22 +690,52 @@ let finish st slot ~now =
   | None -> ignore (Pool.reap st.st_pool slot)
   | Some pend ->
       Hashtbl.remove st.st_inflight slot;
+      Hashtbl.remove st.st_keys pend.p_key;
+      let waiters = List.rev pend.p_waiters in    (* arrival order *)
       (match Pool.reap st.st_pool slot with
       | Ok (Service.Served sv) ->
           Metrics.absorb sv.Service.sv_metrics;
           if !Trace.enabled then Trace.absorb sv.Service.sv_events;
           absorb_tables st pend.p_digest sv.Service.sv_tables;
-          st.st_served <- st.st_served + 1;
-          log st "served %s: exit %d, %d alarms, %.3fs" pend.p_id
-            sv.Service.sv_exit sv.Service.sv_alarms sv.Service.sv_time;
-          reply st pend.p_conn (ok_reply pend sv ~now)
+          record_latency st sv.Service.sv_time;
+          Hashtbl.remove st.st_breaker pend.p_digest;
+          let preloaded = List.length pend.p_work.Service.w_preload in
+          List.iter
+            (fun w ->
+              st.st_served <- st.st_served + 1;
+              log st "served %s: exit %d, %d alarms, %.3fs" w.wt_id
+                sv.Service.sv_exit sv.Service.sv_alarms sv.Service.sv_time;
+              reply st w.wt_conn
+                (ok_reply ~id:w.wt_id ~received:w.wt_received ~preloaded sv
+                   ~now))
+            waiters
       | Ok (Service.Refused msg) ->
-          st.st_errors <- st.st_errors + 1;
-          reply st pend.p_conn (error_reply pend.p_id msg)
+          (* a request-level refusal is not a crash: the worker lived *)
+          Hashtbl.remove st.st_breaker pend.p_digest;
+          List.iter
+            (fun w ->
+              st.st_errors <- st.st_errors + 1;
+              reply st w.wt_conn (error_reply w.wt_id msg))
+            waiters
       | Error msg ->
-          st.st_errors <- st.st_errors + 1;
-          log st "request %s failed: %s" pend.p_id msg;
-          reply st pend.p_conn (error_reply pend.p_id msg));
+          if msg = "worker crashed" && st.st_cfg.d_breaker_n > 0 then begin
+            let n =
+              match Hashtbl.find_opt st.st_breaker pend.p_digest with
+              | Some (n, _) -> n + 1
+              | None -> 1
+            in
+            Hashtbl.replace st.st_breaker pend.p_digest (n, now);
+            if n = st.st_cfg.d_breaker_n then begin
+              Metrics.incr m_breaker;
+              log st "circuit breaker opened: %d consecutive crashes" n
+            end
+          end;
+          List.iter
+            (fun w ->
+              st.st_errors <- st.st_errors + 1;
+              log st "request %s failed: %s" w.wt_id msg;
+              reply st w.wt_conn (error_reply w.wt_id msg))
+            waiters);
       drain_queue st
 
 let cancel_expired st ~now =
@@ -412,10 +745,14 @@ let cancel_expired st ~now =
       | None -> Pool.cancel st.st_pool slot
       | Some pend ->
           Hashtbl.remove st.st_inflight slot;
+          Hashtbl.remove st.st_keys pend.p_key;
           Pool.cancel st.st_pool slot;
-          st.st_errors <- st.st_errors + 1;
-          log st "request %s timed out (hard limit)" pend.p_id;
-          reply st pend.p_conn (error_reply pend.p_id "request timed out"))
+          List.iter
+            (fun w ->
+              st.st_errors <- st.st_errors + 1;
+              log st "request %s timed out (hard limit)" w.wt_id;
+              reply st w.wt_conn (error_reply w.wt_id "request timed out"))
+            (List.rev pend.p_waiters))
     (Pool.expired_slots st.st_pool ~now);
   drain_queue st
 
@@ -428,12 +765,21 @@ let begin_drain st ~now =
   | Some fd ->
       st.st_listen <- None;
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      (try Unix.unlink st.st_cfg.d_socket with Unix.Unix_error _ | Sys_error _ -> ())
+      (try Unix.unlink st.st_cfg.d_socket
+       with Unix.Unix_error _ | Sys_error _ -> ())
   | None -> ());
-  Queue.iter
-    (fun pend -> reply st pend.p_conn (shutting_down_reply pend.p_id))
-    st.st_queue;
-  Queue.clear st.st_queue;
+  List.iter
+    (fun conn ->
+      Queue.iter
+        (fun pend ->
+          List.iter
+            (fun w -> reply st w.wt_conn (shutting_down_reply w.wt_id))
+            (List.rev pend.p_waiters))
+        conn.c_queue;
+      Queue.clear conn.c_queue)
+    st.st_conns;
+  st.st_queued <- 0;
+  Queue.clear st.st_rr;
   log st "shutting down: %d in-flight request(s) draining"
     (Hashtbl.length st.st_inflight)
 
@@ -441,10 +787,33 @@ let force_cancel_inflight st =
   Hashtbl.iter
     (fun slot pend ->
       Pool.cancel st.st_pool slot;
-      reply st pend.p_conn
-        (error_reply pend.p_id "canceled: daemon shutting down"))
+      List.iter
+        (fun w ->
+          reply st w.wt_conn
+            (error_reply w.wt_id "canceled: daemon shutting down"))
+        (List.rev pend.p_waiters))
     st.st_inflight;
-  Hashtbl.reset st.st_inflight
+  Hashtbl.reset st.st_inflight;
+  Hashtbl.reset st.st_keys
+
+(* ---- SIGHUP hot reload ------------------------------------------- *)
+
+let hup_pending = ref false
+
+let reload st =
+  match st.st_cfg.d_config_file with
+  | None -> log st "SIGHUP: no --config file to reload, ignored"
+  | Some file -> (
+      match load_config_file st.st_cfg file with
+      | Error msg ->
+          prerr_endline
+            ("astreed: warning: SIGHUP reload failed, keeping config: " ^ msg)
+      | Ok cfg ->
+          (* in-flight requests already carry their resolved options;
+             only future admissions see the new knobs *)
+          st.st_cfg <- cfg;
+          st.st_gen <- st.st_gen + 1;
+          log st "config reloaded from %s (generation %d)" file st.st_gen)
 
 (* ---- socket setup ------------------------------------------------ *)
 
@@ -476,6 +845,8 @@ let bind_socket (path : string) : Unix.file_descr =
 
 let run (dc : config) : int =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Sys.set_signal Sys.sighup
+    (Sys.Signal_handle (fun _ -> hup_pending := true));
   Budget.install_signal_handlers ();
   match bind_socket dc.d_socket with
   | exception Failure msg ->
@@ -489,32 +860,70 @@ let run (dc : config) : int =
       let st =
         {
           st_cfg = dc;
+          st_gen = 0;
           st_pool = Pool.create ~jobs:(max 1 dc.d_workers) Service.serve;
           st_listen = Some listen_fd;
           st_conns = [];
           st_inflight = Hashtbl.create 16;
-          st_queue = Queue.create ();
+          st_keys = Hashtbl.create 16;
+          st_rr = Queue.create ();
+          st_queued = 0;
           st_tables = Hashtbl.create 16;
           st_order = Queue.create ();
+          st_breaker = Hashtbl.create 16;
+          st_lat = Array.make 32 0.;
+          st_lat_n = 0;
           st_started = Unix.gettimeofday ();
           st_draining = false;
           st_drain_t = 0.;
           st_served = 0;
           st_shed = 0;
           st_errors = 0;
+          st_dedup = 0;
+          st_breaker_rejects = 0;
+          st_recovered = 0;
+          st_ckpt_saves = 0;
+          st_ckpt_dirty = false;
+          st_ckpt_t = Unix.gettimeofday ();
         }
       in
-      log st "listening on %s (%d worker(s), queue depth %d)" dc.d_socket
-        (Pool.size st.st_pool) dc.d_queue_depth;
+      (* a freshly forked (or respawned) worker must not inherit the
+         server sockets: a worker's stale copy of a connection fd would
+         keep the kernel from delivering EOF after we close it, wedging
+         a client mid-read forever *)
+      Pool.at_child_fork :=
+        Some
+          (fun () ->
+            (match st.st_listen with
+            | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+            | None -> ());
+            List.iter
+              (fun c ->
+                try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+              st.st_conns);
+      (* warm state from the previous life, if a checkpoint survives;
+         a torn or corrupt file degrades to a cold start *)
+      load_checkpoint st;
+      if dc.d_restarts > 0 then
+        Metrics.set_gauge "srv.restarts" dc.d_restarts;
+      log st "listening on %s (%d worker(s), queue depth %d%s)" dc.d_socket
+        (Pool.size st.st_pool) dc.d_queue_depth
+        (if st.st_recovered > 0 then
+           Printf.sprintf ", %d program(s) warm" st.st_recovered
+         else "");
       let rec loop () =
         let now = Unix.gettimeofday () in
+        if !hup_pending then begin
+          hup_pending := false;
+          reload st
+        end;
         if Budget.interrupt_pending () && not st.st_draining then
           begin_drain st ~now;
         if st.st_draining && Hashtbl.length st.st_inflight = 0 then ()
         else begin
           if
             st.st_draining
-            && now -. st.st_drain_t > dc.d_grace
+            && now -. st.st_drain_t > st.st_cfg.d_grace
             && Hashtbl.length st.st_inflight > 0
           then force_cancel_inflight st;
           if st.st_draining && Hashtbl.length st.st_inflight = 0 then ()
@@ -552,17 +961,20 @@ let run (dc : config) : int =
                     | cfd, _ ->
                         st.st_conns <-
                           { c_fd = cfd; c_buf = Buffer.create 256;
-                            c_alive = true }
+                            c_alive = true; c_queue = Queue.create () }
                           :: st.st_conns;
                         log st "client connected (%d total)"
                           (List.length st.st_conns))
                 | _ -> ()));
-            cancel_expired st ~now:(Unix.gettimeofday ());
+            let now = Unix.gettimeofday () in
+            cancel_expired st ~now;
+            save_checkpoint st ~now ~force:false;
             loop ()
           end
         end
       in
       loop ();
+      save_checkpoint st ~now:(Unix.gettimeofday ()) ~force:true;
       flush_store st;
       List.iter (fun conn -> close_conn st conn) st.st_conns;
       Pool.shutdown st.st_pool;

@@ -538,8 +538,14 @@ let test_store_racing_writers () =
             List.sort_uniq compare (List.map fst (half_a @ half_b))
           in
           (* whatever the race left behind is a coherent subset of the
-             union — never torn, never foreign *)
-          let after_race = keys_of (I.Store.load ~dir ~key) in
+             union — never torn, never foreign.  The oracle's own reads
+             and saves run fault-suppressed: this test is about the
+             writers racing, not about the chaos env corrupting the
+             verification pass itself *)
+          let after_race =
+            Astree_robust.Faultsim.with_suppressed (fun () ->
+                keys_of (I.Store.load ~dir ~key))
+          in
           Alcotest.(check bool)
             "race result within the union" true
             (List.for_all (fun k -> List.mem k union) after_race);
@@ -547,11 +553,15 @@ let test_store_racing_writers () =
             (after_race <> []);
           (* one sequential save of each half must now converge to the
              exact union, whichever writer won the race *)
-          I.Store.save ~dir ~key half_a;
-          I.Store.save ~dir ~key half_b;
+          let converged =
+            Astree_robust.Faultsim.with_suppressed (fun () ->
+                I.Store.save ~dir ~key half_a;
+                I.Store.save ~dir ~key half_b;
+                keys_of (I.Store.load ~dir ~key))
+          in
           Alcotest.(check bool)
             "merge-on-save converges to the union" true
-            (keys_of (I.Store.load ~dir ~key) = union)))
+            (converged = union)))
 
 (* every example in the repository: warm, cold and cache-less runs must
    agree on the result fingerprint (alarms + census + final state) *)
@@ -582,6 +592,79 @@ let test_warm_all_examples () =
                     (P.Merge.fingerprint off) (P.Merge.fingerprint warm))))
     [ "mini_fbw.c"; "filter_bank.c"; "buggy_demo.c" ]
 
+(* ---------------- versioned blobs (daemon checkpoints) ---------------- *)
+
+let blob_magic = "astree-test-blob v1\n"
+
+let with_blob_file k =
+  let file = Filename.temp_file "astree-blob" ".bin" in
+  Sys.remove file;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () -> k file)
+
+let test_blob_roundtrip () =
+  with_blob_file (fun file ->
+      let v = [ ("alpha", [ 1; 2; 3 ]); ("beta", [ 4 ]) ] in
+      I.Store.save_blob ~file ~magic:blob_magic v;
+      Alcotest.(check (option (list (pair string (list int)))))
+        "round-trips" (Some v)
+        (I.Store.load_blob ~file ~magic:blob_magic);
+      (* a second save atomically replaces the first *)
+      I.Store.save_blob ~file ~magic:blob_magic [ ("gamma", [ 9 ]) ];
+      Alcotest.(check (option (list (pair string (list int)))))
+        "overwrites atomically"
+        (Some [ ("gamma", [ 9 ]) ])
+        (I.Store.load_blob ~file ~magic:blob_magic))
+
+let test_blob_missing_and_magic () =
+  with_blob_file (fun file ->
+      Alcotest.(check (option (list int)))
+        "missing file reads as None" None
+        (I.Store.load_blob ~file ~magic:blob_magic);
+      I.Store.save_blob ~file ~magic:blob_magic [ 1; 2 ];
+      Alcotest.(check (option (list int)))
+        "foreign magic rejected" None
+        (I.Store.load_blob ~file ~magic:"astree-test-blob v2\n"))
+
+let test_blob_corrupt () =
+  with_blob_file (fun file ->
+      I.Store.save_blob ~file ~magic:blob_magic [ 1; 2; 3; 4; 5 ];
+      let blob = In_channel.with_open_bin file In_channel.input_all in
+      (* bit rot mid-payload *)
+      let rotten = Bytes.of_string blob in
+      let mid = Bytes.length rotten - 4 in
+      Bytes.set rotten mid
+        (Char.chr (Char.code (Bytes.get rotten mid) lxor 0xFF));
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_bytes oc rotten);
+      Alcotest.(check (option (list int)))
+        "corrupt blob reads as None" None
+        (I.Store.load_blob ~file ~magic:blob_magic);
+      (* a write that stopped halfway *)
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc
+            (String.sub blob 0 (String.length blob / 2)));
+      Alcotest.(check (option (list int)))
+        "truncated blob reads as None" None
+        (I.Store.load_blob ~file ~magic:blob_magic))
+
+let test_blob_torn_write () =
+  with_blob_file (fun file ->
+      (* with the fault armed the writer tears mid-payload on the final
+         name — the digest check must reject the file, silently *)
+      Astree_robust.Faultsim.install ~seed:5
+        [ (Astree_robust.Faultsim.Checkpoint_torn, 1.0) ];
+      Fun.protect
+        ~finally:(fun () -> Astree_robust.Faultsim.clear ())
+        (fun () ->
+          I.Store.save_blob ~file ~magic:blob_magic [ 42 ];
+          Alcotest.(check bool) "torn file was published" true
+            (Sys.file_exists file);
+          Alcotest.(check (option (list int)))
+            "torn blob reads as None" None
+            (I.Store.load_blob ~file ~magic:blob_magic)))
+
 let suite =
   [
     Alcotest.test_case "fingerprint: deterministic" `Quick
@@ -608,4 +691,12 @@ let suite =
       test_store_corruption;
     Alcotest.test_case "store: racing writers never tear" `Quick
       test_store_racing_writers;
+    Alcotest.test_case "blob: round-trip and atomic replace" `Quick
+      test_blob_roundtrip;
+    Alcotest.test_case "blob: missing file and foreign magic" `Quick
+      test_blob_missing_and_magic;
+    Alcotest.test_case "blob: corrupt + truncated read as None" `Quick
+      test_blob_corrupt;
+    Alcotest.test_case "blob: torn write rejected by digest" `Quick
+      test_blob_torn_write;
   ]

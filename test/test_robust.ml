@@ -468,6 +468,63 @@ let test_store_corrupt_and_truncated () =
                     (String.sub blob 0 (String.length blob / 2)));
               check_degraded "truncated"))
 
+(* ---------------- backoff ---------------- *)
+
+let test_backoff_deterministic () =
+  let p = R.Backoff.default in
+  for attempt = 0 to 6 do
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "attempt %d reproducible" attempt)
+      (R.Backoff.delay p ~seed:42 ~attempt)
+      (R.Backoff.delay p ~seed:42 ~attempt)
+  done;
+  Alcotest.(check bool)
+    "different seeds jitter differently" true
+    (R.Backoff.delay p ~seed:1 ~attempt:3
+    <> R.Backoff.delay p ~seed:2 ~attempt:3)
+
+let test_backoff_bounds () =
+  let p = R.Backoff.default in
+  for seed = 1 to 50 do
+    for attempt = 0 to 12 do
+      let d = R.Backoff.delay p ~seed ~attempt in
+      let base =
+        Float.min p.R.Backoff.b_max
+          (p.R.Backoff.b_base *. (p.R.Backoff.b_factor ** float_of_int attempt))
+      in
+      let j = p.R.Backoff.b_jitter in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d attempt %d within jitter band" seed attempt)
+        true
+        (d >= (base *. (1. -. j)) -. 1e-9
+        && d <= (base *. (1. +. j)) +. 1e-9)
+    done
+  done
+
+let test_backoff_growth () =
+  (* the jitter band is +-25%, the ladder doubles: the band floor of
+     attempt n+2 clears the band ceiling of attempt n, so delays grow
+     monotonically two attempts apart even in the worst case *)
+  let p = { R.Backoff.default with R.Backoff.b_max = 1000. } in
+  for seed = 1 to 20 do
+    for attempt = 0 to 8 do
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: attempt %d < attempt %d" seed attempt
+           (attempt + 2))
+        true
+        (R.Backoff.delay p ~seed ~attempt
+        < R.Backoff.delay p ~seed ~attempt:(attempt + 2))
+    done
+  done
+
+let test_backoff_cap () =
+  let p = R.Backoff.default in
+  for attempt = 20 to 24 do
+    Alcotest.(check bool) "late attempts capped at b_max (+ jitter)" true
+      (R.Backoff.delay p ~seed:7 ~attempt
+      <= p.R.Backoff.b_max *. (1. +. p.R.Backoff.b_jitter) +. 1e-9)
+  done
+
 let suite =
   [
     Alcotest.test_case "budget: poll trips and clears" `Quick test_budget_poll;
@@ -502,4 +559,11 @@ let suite =
       test_inject_cache_write;
     Alcotest.test_case "store: corrupt + truncated degrade to cold" `Quick
       test_store_corrupt_and_truncated;
+    Alcotest.test_case "backoff: deterministic per (seed, attempt)" `Quick
+      test_backoff_deterministic;
+    Alcotest.test_case "backoff: stays within the jitter band" `Quick
+      test_backoff_bounds;
+    Alcotest.test_case "backoff: delays grow up the ladder" `Quick
+      test_backoff_growth;
+    Alcotest.test_case "backoff: capped at b_max" `Quick test_backoff_cap;
   ]

@@ -73,19 +73,28 @@ let wait_for_daemon sock =
   in
   go 100
 
+(* A zero-probability spec: installing it overrides any ASTREE_FAULTS
+   from the environment (the chaos-matrix CI legs), so daemon tests that
+   assert clean behavior stay hermetic — only tests that opt into faults
+   see them. *)
+let no_faults = [ (R.Faultsim.Worker_crash, 0.0) ]
+
 (* Fork a daemon on a private socket; [faults] are armed in the child
    before it starts (inherited by its pool workers).  The body gets the
-   socket path; the daemon is SIGTERMed and reaped afterwards. *)
-let with_daemon ?(workers = 2) ?(queue = 8) ?(grace = 10.) ?(faults = [])
-    ?(hang = 3600.) (k : string -> unit) : unit =
-  let sock = fresh_socket () in
+   socket path and the daemon pid (to signal it); the daemon is
+   SIGTERMed and reaped afterwards. *)
+let with_daemon_ex ?(workers = 2) ?(queue = 8) ?(grace = 10.)
+    ?faults ?(hang = 3600.) ?(seed = 42) ?config_file ?checkpoint
+    ?(checkpoint_s = 0.) ?(sock = fresh_socket ())
+    (k : string -> int -> unit) : unit =
+  let faults = Option.value ~default:no_faults faults in
   flush stdout;
   flush stderr;
   match Unix.fork () with
   | 0 ->
       (* daemon process: never return into the test runner *)
       R.Faultsim.hang_seconds := hang;
-      if faults <> [] then R.Faultsim.install ~seed:42 faults;
+      if faults <> [] then R.Faultsim.install ~seed faults;
       let code =
         try
           Srv.Daemon.run
@@ -95,6 +104,9 @@ let with_daemon ?(workers = 2) ?(queue = 8) ?(grace = 10.) ?(faults = [])
               d_workers = workers;
               d_queue_depth = queue;
               d_grace = grace;
+              d_config_file = config_file;
+              d_checkpoint = checkpoint;
+              d_checkpoint_s = checkpoint_s;
             }
         with _ -> 1
       in
@@ -107,7 +119,12 @@ let with_daemon ?(workers = 2) ?(queue = 8) ?(grace = 10.) ?(faults = [])
           if Sys.file_exists sock then Sys.remove sock)
         (fun () ->
           wait_for_daemon sock;
-          k sock)
+          k sock pid)
+
+let with_daemon ?workers ?queue ?grace ?faults ?hang (k : string -> unit) :
+    unit =
+  with_daemon_ex ?workers ?queue ?grace ?faults ?hang (fun sock _pid ->
+      k sock)
 
 let ok_exn = function
   | Ok v -> v
@@ -156,6 +173,87 @@ let scrub_time (s : string) : string =
     end
   done;
   Buffer.contents b
+
+let has_sub (s : string) (sub : string) : bool =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let analyze_json ?(id = 1) ?(options = Srv.Service.default_options) sources =
+  Srv.Client.analyze_request_json ~id ~sources ~main:"main" ~options ()
+
+(* the "server" member of a status reply *)
+let server_status sock : Srv.Json.t =
+  let rep =
+    ok_exn
+      (Srv.Client.request sock
+         (Srv.Json.Obj [ ("verb", Srv.Json.Str "status") ]))
+  in
+  match Srv.Json.parse rep.Srv.Client.r_line with
+  | Ok j -> Srv.Json.member "server" j
+  | Error e -> Alcotest.failf "status reply unparsable: %s" e
+
+let server_int field (j : Srv.Json.t) : int =
+  Option.value ~default:(-1) (Srv.Json.to_int (Srv.Json.member field j))
+
+(* the "preloaded" count of an ok analyze reply: how many resident
+   summaries seeded the request — the daemon's warmth signal *)
+let reply_preloaded (r : Srv.Client.reply) : int =
+  match Srv.Json.parse r.Srv.Client.r_line with
+  | Ok j ->
+      Option.value ~default:0
+        (Srv.Json.to_int
+           (Srv.Json.member "preloaded" (Srv.Json.member "server" j)))
+  | Error _ -> 0
+
+(* A two-stage filter cascade whose stage functions sit above
+   [Iterator.memo_min_stmts], so the analysis actually produces
+   function summaries — the tiny inline programs above analyze without
+   any, which makes them useless for warm-state tests.  Same shape as
+   the E15 bench workload. *)
+let prog_cascade =
+  let stages = 2 and width = 16 in
+  let buf = Buffer.create 8192 in
+  for s = 0 to stages - 1 do
+    Buffer.add_string buf (Printf.sprintf "volatile float u%d;\n" s);
+    for v = 0 to width - 1 do
+      Buffer.add_string buf (Printf.sprintf "float x%d_%d;\n" s v)
+    done;
+    Buffer.add_string buf (Printf.sprintf "short o%d;\nshort p%d;\n" s s)
+  done;
+  for s = 0 to stages - 1 do
+    Buffer.add_string buf (Printf.sprintf "void stage%d(void) {\n" s);
+    Buffer.add_string buf (Printf.sprintf "  x%d_0 = u%d;\n" s s);
+    for v = 1 to width - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "  x%d_%d = 0.5f * x%d_%d + 0.5f * x%d_%d;\n" s v s v
+           s (v - 1));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  if (x%d_%d - x%d_%d > 0.25f) { x%d_%d = x%d_%d + 0.25f; }\n" s
+           v s (v - 1) s v s (v - 1))
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "  o%d = (short)(x%d_%d * 65536.0f);\n" s s (width - 1));
+    Buffer.add_string buf
+      (Printf.sprintf "  p%d = (short)(x%d_%d * 128.0f);\n" s s (width - 1));
+    Buffer.add_string buf "}\n"
+  done;
+  Buffer.add_string buf "int main(void) {\n";
+  for s = 0 to stages - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  __astree_input_range(u%d, -1.0, 1.0);\n" s);
+    for v = 0 to width - 1 do
+      Buffer.add_string buf (Printf.sprintf "  x%d_%d = 0.0f;\n" s v)
+    done
+  done;
+  Buffer.add_string buf "  while (1) {\n";
+  for s = 0 to stages - 1 do
+    Buffer.add_string buf (Printf.sprintf "    stage%d();\n" s)
+  done;
+  Buffer.add_string buf
+    "    __astree_wait_for_clock();\n  }\n  return 0;\n}\n";
+  Buffer.contents buf
 
 (* ---- json codec -------------------------------------------------- *)
 
@@ -414,7 +512,9 @@ let test_queue_full_shed () =
           send_analyze ~id:1 fd;
           (* give the event loop time to hand request 1 to the worker *)
           Unix.sleepf 0.2;
-          send_analyze ~id:2 fd;
+          (* a different program: an identical request would share
+             request 1's worker (dedup) instead of being shed *)
+          send_analyze ~id:2 ~sources:[ ("a.c", prog_alarm) ] fd;
           let reader = Srv.Client.reader fd in
           let first = Srv.Client.decode (ok_exn (Srv.Client.read_reply reader)) in
           let second = Srv.Client.decode (ok_exn (Srv.Client.read_reply reader)) in
@@ -424,6 +524,10 @@ let test_queue_full_shed () =
           Alcotest.(check (option string))
             "shed names the queue" (Some "queue full")
             first.Srv.Client.r_error;
+          (match first.Srv.Client.r_retry_after with
+          | Some t ->
+              Alcotest.(check bool) "positive pacing hint" true (t > 0.)
+          | None -> Alcotest.fail "shed reply carries retry_after_s");
           Alcotest.(check string) "request 1 still served" "ok"
             second.Srv.Client.r_status))
 
@@ -483,7 +587,9 @@ let test_shutdown_drains () =
         (fun () ->
           send_analyze ~id:1 fd;
           Unix.sleepf 0.2;
-          send_analyze ~id:2 fd;
+          (* different program so the queued request keeps its own
+             job instead of dedup-attaching to the in-flight one *)
+          send_analyze ~id:2 ~sources:[ ("a.c", prog_alarm) ] fd;
           Unix.sleepf 0.1;
           ok_exn
             (Srv.Client.send fd
@@ -578,6 +684,431 @@ let test_multi_task_refused () =
       in
       Alcotest.(check string) "daemon survives" "ok" rep.Srv.Client.r_status)
 
+(* ---- client retry and backoff ------------------------------------ *)
+
+let test_request_retry_shed () =
+  (* single worker held busy, no queue: the retrying client paces
+     itself on the shed replies' retry_after_s hints until the worker
+     frees up, then gets the real reply — no in-process fallback *)
+  with_daemon ~workers:1 ~queue:0 ~hang:0.6
+    ~faults:[ (R.Faultsim.Worker_hang, 1.0) ]
+    (fun sock ->
+      let fd = Option.get (Srv.Client.try_connect sock) in
+      Fun.protect
+        ~finally:(fun () -> Srv.Client.close fd)
+        (fun () ->
+          send_analyze ~id:1 fd;
+          Unix.sleepf 0.2;
+          match
+            Srv.Client.request_retry
+              ~policy:{ R.Backoff.default with R.Backoff.b_retries = 10 }
+              ~seed:7 sock
+              (analyze_json ~id:2 [ ("a.c", prog_alarm) ])
+          with
+          | Srv.Client.Reply r ->
+              Alcotest.(check string) "retried to ok" "ok"
+                r.Srv.Client.r_status
+          | Srv.Client.No_daemon -> Alcotest.fail "daemon is there"
+          | Srv.Client.Exhausted msg ->
+              Alcotest.failf "retries exhausted: %s" msg))
+
+let test_request_retry_conn_drop () =
+  (* the daemon drops connections before replying about a third of the
+     time; the retrying client still lands a reply.  Deterministic:
+     both fault stream and backoff jitter are seeded. *)
+  with_daemon ~faults:[ (R.Faultsim.Conn_drop, 0.35) ]
+    (fun sock ->
+      match
+        Srv.Client.request_retry
+          ~policy:{ R.Backoff.default with R.Backoff.b_retries = 12 }
+          ~seed:3 sock
+          (analyze_json [ ("t.c", prog_simple) ])
+      with
+      | Srv.Client.Reply r ->
+          Alcotest.(check string) "survived dropped connections" "ok"
+            r.Srv.Client.r_status;
+          Alcotest.(check bool) "report delivered" true
+            (r.Srv.Client.r_report <> None)
+      | Srv.Client.No_daemon -> Alcotest.fail "daemon is there"
+      | Srv.Client.Exhausted msg -> Alcotest.failf "retries exhausted: %s" msg)
+
+(* ---- cross-request dedup ----------------------------------------- *)
+
+let test_dedup () =
+  (* two identical requests from two clients while the single worker
+     hangs: the second attaches to the first's job; both get full,
+     byte-identical replies, and the daemon counts one dedup hit *)
+  with_daemon ~workers:1 ~hang:0.5
+    ~faults:[ (R.Faultsim.Worker_hang, 1.0) ]
+    (fun sock ->
+      let fd1 = Option.get (Srv.Client.try_connect sock) in
+      let fd2 = Option.get (Srv.Client.try_connect sock) in
+      Fun.protect
+        ~finally:(fun () ->
+          Srv.Client.close fd1;
+          Srv.Client.close fd2)
+        (fun () ->
+          send_analyze ~id:1 fd1;
+          Unix.sleepf 0.2;
+          send_analyze ~id:2 fd2;
+          let r1 =
+            Srv.Client.decode
+              (ok_exn (Srv.Client.read_reply (Srv.Client.reader fd1)))
+          in
+          let r2 =
+            Srv.Client.decode
+              (ok_exn (Srv.Client.read_reply (Srv.Client.reader fd2)))
+          in
+          Alcotest.(check string) "first served" "ok" r1.Srv.Client.r_status;
+          Alcotest.(check string) "second served" "ok" r2.Srv.Client.r_status;
+          Alcotest.(check string) "byte-identical reports"
+            (scrub_time (Option.get r1.Srv.Client.r_report))
+            (scrub_time (Option.get r2.Srv.Client.r_report)));
+      let server = server_status sock in
+      Alcotest.(check int) "one dedup hit" 1 (server_int "dedup_hits" server);
+      Alcotest.(check int) "both counted as served" 2
+        (server_int "served" server))
+
+(* ---- circuit breaker --------------------------------------------- *)
+
+let test_circuit_breaker () =
+  (* every worker crashes: after three consecutive crashes on one
+     program its breaker opens and the fourth request is refused
+     without burning a worker; a different program is unaffected *)
+  with_daemon ~workers:1 ~faults:[ (R.Faultsim.Worker_crash, 1.0) ]
+    (fun sock ->
+      for i = 1 to 3 do
+        let r = ok_exn (Srv.Client.request sock (analyze_json [ ("t.c", prog_simple) ])) in
+        Alcotest.(check string)
+          (Printf.sprintf "crash %d is an error" i)
+          "error" r.Srv.Client.r_status;
+        Alcotest.(check bool)
+          (Printf.sprintf "crash %d names the crash" i)
+          true
+          (has_sub (Option.value ~default:"" r.Srv.Client.r_error) "crash")
+      done;
+      let r = ok_exn (Srv.Client.request sock (analyze_json [ ("t.c", prog_simple) ])) in
+      Alcotest.(check string) "breaker rejects cleanly" "error"
+        r.Srv.Client.r_status;
+      Alcotest.(check bool) "error names the breaker" true
+        (has_sub
+           (Option.value ~default:"" r.Srv.Client.r_error)
+           "circuit breaker");
+      (* another program has its own (closed) breaker *)
+      let r2 = ok_exn (Srv.Client.request sock (analyze_json [ ("a.c", prog_alarm) ])) in
+      Alcotest.(check bool) "other program not broken" true
+        (match r2.Srv.Client.r_error with
+        | Some m -> not (has_sub m "circuit breaker")
+        | None -> false);
+      let server = server_status sock in
+      Alcotest.(check int) "one breaker open" 1
+        (server_int "breaker_open" server);
+      Alcotest.(check int) "one breaker reject" 1
+        (server_int "breaker_rejects" server))
+
+(* ---- SIGHUP hot reload ------------------------------------------- *)
+
+let test_sighup_reload () =
+  let cfg_file = Filename.temp_file "astreed-conf" ".json" in
+  let write s =
+    let oc = open_out cfg_file in
+    output_string oc s;
+    close_out oc
+  in
+  write "{\"queue_depth\": 8}";
+  Fun.protect
+    ~finally:(fun () -> Sys.remove cfg_file)
+    (fun () ->
+      with_daemon_ex ~workers:1 ~hang:0.8
+        ~faults:[ (R.Faultsim.Worker_hang, 1.0) ]
+        ~config_file:cfg_file
+        (fun sock pid ->
+          let fd = Option.get (Srv.Client.try_connect sock) in
+          Fun.protect
+            ~finally:(fun () -> Srv.Client.close fd)
+            (fun () ->
+              (* an in-flight request rides across the reload *)
+              send_analyze ~id:1 fd;
+              Unix.sleepf 0.2;
+              write "{\"queue_depth\": 5, \"grace\": 3}";
+              Unix.kill pid Sys.sighup;
+              let rec wait n =
+                if n = 0 then
+                  Alcotest.fail "config generation never bumped"
+                else
+                  let server = server_status sock in
+                  if server_int "config_generation" server = 1 then server
+                  else begin
+                    Unix.sleepf 0.1;
+                    wait (n - 1)
+                  end
+              in
+              let server = wait 50 in
+              Alcotest.(check int) "queue depth swapped" 5
+                (server_int "queue_depth" server);
+              let r =
+                Srv.Client.decode
+                  (ok_exn (Srv.Client.read_reply (Srv.Client.reader fd)))
+              in
+              Alcotest.(check string) "in-flight request survived reload"
+                "ok" r.Srv.Client.r_status)))
+
+(* ---- crash-recovered warm state ---------------------------------- *)
+
+let test_checkpoint_recovery () =
+  (* first daemon life: serve once (cold), checkpoint, die by SIGKILL
+     — no shutdown path runs.  Second life on the same checkpoint:
+     warm within one request, report byte-identical. *)
+  let ckpt = Filename.temp_file "astreed-ckpt" ".bin" in
+  Sys.remove ckpt;
+  let sources = [ ("cascade.c", prog_cascade) ] in
+  let baseline, _ = in_process_report sources in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists ckpt then Sys.remove ckpt)
+    (fun () ->
+      with_daemon_ex ~faults:no_faults ~checkpoint:ckpt (fun sock pid ->
+          let r = ok_exn (Srv.Client.request sock (analyze_json sources)) in
+          Alcotest.(check string) "cold serve ok" "ok" r.Srv.Client.r_status;
+          Alcotest.(check int) "cold run not preloaded" 0 (reply_preloaded r);
+          Alcotest.(check string) "cold report correct" (scrub_time baseline)
+            (scrub_time (Option.get r.Srv.Client.r_report));
+          (* the checkpoint lands on the loop pass after the reply *)
+          let rec wait n =
+            if (not (Sys.file_exists ckpt)) && n > 0 then begin
+              Unix.sleepf 0.05;
+              wait (n - 1)
+            end
+          in
+          wait 100;
+          Alcotest.(check bool) "checkpoint written" true
+            (Sys.file_exists ckpt);
+          Unix.kill pid Sys.sigkill);
+      with_daemon_ex ~faults:no_faults ~checkpoint:ckpt (fun sock _pid ->
+          let server = server_status sock in
+          Alcotest.(check bool) "programs recovered" true
+            (server_int "recovered" server > 0);
+          let r = ok_exn (Srv.Client.request sock (analyze_json sources)) in
+          Alcotest.(check string) "recovered serve ok" "ok"
+            r.Srv.Client.r_status;
+          Alcotest.(check bool) "recovered daemon is warm" true
+            (reply_preloaded r > 0);
+          Alcotest.(check string) "recovered report byte-identical"
+            (scrub_time baseline)
+            (scrub_time (Option.get r.Srv.Client.r_report))))
+
+let test_checkpoint_torn () =
+  (* every checkpoint write tears mid-payload: the recovered daemon
+     must reject the file, start cold — and still answer correctly *)
+  let ckpt = Filename.temp_file "astreed-ckpt" ".bin" in
+  Sys.remove ckpt;
+  let sources = [ ("cascade.c", prog_cascade) ] in
+  let baseline, _ = in_process_report sources in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists ckpt then Sys.remove ckpt)
+    (fun () ->
+      with_daemon_ex
+        ~faults:[ (R.Faultsim.Checkpoint_torn, 1.0) ]
+        ~checkpoint:ckpt
+        (fun sock pid ->
+          let r = ok_exn (Srv.Client.request sock (analyze_json sources)) in
+          Alcotest.(check string) "serve ok" "ok" r.Srv.Client.r_status;
+          let rec wait n =
+            if (not (Sys.file_exists ckpt)) && n > 0 then begin
+              Unix.sleepf 0.05;
+              wait (n - 1)
+            end
+          in
+          wait 100;
+          Alcotest.(check bool) "torn checkpoint exists" true
+            (Sys.file_exists ckpt);
+          Unix.kill pid Sys.sigkill);
+      with_daemon_ex ~faults:no_faults ~checkpoint:ckpt (fun sock _pid ->
+          let server = server_status sock in
+          Alcotest.(check int) "nothing recovered from the torn file" 0
+            (server_int "recovered" server);
+          let r = ok_exn (Srv.Client.request sock (analyze_json sources)) in
+          Alcotest.(check string) "cold but serving" "ok"
+            r.Srv.Client.r_status;
+          Alcotest.(check int) "cold: no preload" 0 (reply_preloaded r);
+          Alcotest.(check string) "cold report still byte-identical"
+            (scrub_time baseline)
+            (scrub_time (Option.get r.Srv.Client.r_report))))
+
+(* ---- supervision ------------------------------------------------- *)
+
+(* Fork a supervised daemon (supervisor + serving child); the body gets
+   the socket and the SUPERVISOR pid.  A fast backoff ladder keeps the
+   test snappy. *)
+let with_supervised ?(workers = 2) ?(faults = no_faults) ?(seed = 42)
+    ?checkpoint (k : string -> int -> unit) : unit =
+  let sock = fresh_socket () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      if faults <> [] then R.Faultsim.install ~seed faults;
+      let code =
+        try
+          Srv.Supervisor.run
+            ~config:
+              {
+                Srv.Supervisor.default with
+                Srv.Supervisor.s_policy =
+                  {
+                    R.Backoff.supervisor with
+                    R.Backoff.b_base = 0.05;
+                    b_max = 0.5;
+                  };
+              }
+            (fun ~restarts ~sup_started ->
+              Srv.Daemon.run
+                {
+                  Srv.Daemon.default with
+                  Srv.Daemon.d_socket = sock;
+                  d_workers = workers;
+                  d_checkpoint = checkpoint;
+                  d_checkpoint_s = 0.;
+                  d_restarts = restarts;
+                  d_supervised = true;
+                  d_sup_started = sup_started;
+                })
+        with _ -> 1
+      in
+      Unix._exit code
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          if Sys.file_exists sock then Sys.remove sock)
+        (fun () ->
+          wait_for_daemon sock;
+          k sock pid)
+
+let wait_for_revival sock =
+  let rec go n =
+    if n = 0 then Alcotest.fail "daemon did not come back"
+    else
+      match Srv.Client.try_connect sock with
+      | Some fd -> Srv.Client.close fd
+      | None ->
+          Unix.sleepf 0.1;
+          go (n - 1)
+  in
+  go 100
+
+let test_supervisor_restart () =
+  with_supervised (fun sock _sup_pid ->
+      let server = server_status sock in
+      let pid1 = server_int "pid" server in
+      Alcotest.(check bool) "reports supervised" true
+        (Option.value ~default:false
+           (Srv.Json.to_bool (Srv.Json.member "supervised" server)));
+      Alcotest.(check int) "no restarts yet" 0 (server_int "restarts" server);
+      (* the hard way down: no drain, no unlink, nothing *)
+      Unix.kill pid1 Sys.sigkill;
+      Unix.sleepf 0.1;
+      wait_for_revival sock;
+      let server = server_status sock in
+      Alcotest.(check int) "one restart counted" 1
+        (server_int "restarts" server);
+      Alcotest.(check bool) "a fresh process" true
+        (server_int "pid" server <> pid1);
+      let r = ok_exn (Srv.Client.request sock (analyze_json [ ("t.c", prog_simple) ])) in
+      Alcotest.(check string) "restarted daemon serves" "ok"
+        r.Srv.Client.r_status)
+
+(* ---- chaos soak -------------------------------------------------- *)
+
+let test_chaos_soak () =
+  (* a supervised daemon under deterministic chaos — crashing workers,
+     dropped connections, torn replies, abrupt daemon deaths — with
+     looping retrying clients.  The service must never die, no client
+     may hang (each is alarm-guarded), and every ok report must be
+     byte-identical to the in-process baseline. *)
+  let seed =
+    match Option.bind (Sys.getenv_opt "ASTREE_SOAK_SEED") int_of_string_opt
+    with
+    | Some n -> n
+    | None -> 42
+  in
+  let sources = [ ("t.c", prog_simple) ] in
+  let baseline, _ = in_process_report sources in
+  with_supervised ~seed
+    ~faults:
+      [
+        (R.Faultsim.Worker_crash, 0.2);
+        (R.Faultsim.Conn_drop, 0.15);
+        (R.Faultsim.Reply_partial, 0.15);
+        (R.Faultsim.Daemon_crash, 0.05);
+      ]
+    (fun sock _sup_pid ->
+      let client i =
+        flush stdout;
+        flush stderr;
+        match Unix.fork () with
+        | 0 ->
+            (* a client that stops making progress is killed by the
+               alarm and fails the test as WSIGNALED.  The fast ladder
+               keeps worst-case pacing (20 retries * <=0.5s) well under
+               the alarm even if every request exhausts its budget. *)
+            ignore (Unix.alarm 120);
+            let bad = ref 0 in
+            for j = 1 to 6 do
+              match
+                Srv.Client.request_retry
+                  ~policy:
+                    {
+                      R.Backoff.b_base = 0.05;
+                      b_factor = 2.0;
+                      b_max = 0.5;
+                      b_jitter = 0.25;
+                      b_retries = 20;
+                    }
+                  ~seed:((seed * 1009) + (i * 100) + j)
+                  sock
+                  (analyze_json ~id:((i * 100) + j) sources)
+              with
+              | Srv.Client.Reply r when r.Srv.Client.r_status = "ok" -> (
+                  match r.Srv.Client.r_report with
+                  | Some rep when scrub_time rep = scrub_time baseline -> ()
+                  | _ -> incr bad)
+              | Srv.Client.Reply r when r.Srv.Client.r_status = "error" ->
+                  ()  (* an injected worker crash, reported cleanly *)
+              | Srv.Client.Reply _ -> incr bad
+              | Srv.Client.No_daemon -> incr bad
+              | Srv.Client.Exhausted _ -> ()  (* paced out, not hung *)
+            done;
+            Unix._exit (if !bad = 0 then 0 else 3)
+        | pid -> pid
+      in
+      let pids = List.init 3 client in
+      List.iter
+        (fun pid ->
+          match snd (Unix.waitpid [] pid) with
+          | Unix.WEXITED 0 -> ()
+          | Unix.WEXITED 3 -> Alcotest.fail "soak client saw a wrong reply"
+          | Unix.WEXITED n -> Alcotest.failf "soak client exited %d" n
+          | Unix.WSIGNALED n ->
+              Alcotest.failf "soak client killed by signal %d (hung?)" n
+          | Unix.WSTOPPED _ -> Alcotest.fail "soak client stopped")
+        pids;
+      (* the service survived the storm: status still answers (the
+         reply itself can be chaos-dropped, so ask a few times) *)
+      let rec alive n =
+        if n = 0 then Alcotest.fail "daemon unreachable after soak"
+        else
+          match
+            Srv.Client.request sock
+              (Srv.Json.Obj [ ("verb", Srv.Json.Str "status") ])
+          with
+          | Ok r when r.Srv.Client.r_status = "ok" -> ()
+          | _ ->
+              Unix.sleepf 0.2;
+              alive (n - 1)
+      in
+      alive 30)
+
 let suite =
   [
     Alcotest.test_case "json codec round-trip" `Quick test_json_roundtrip;
@@ -594,6 +1125,22 @@ let suite =
       test_worker_crash;
     Alcotest.test_case "shutdown drains in-flight work" `Quick
       test_shutdown_drains;
+    Alcotest.test_case "client retries through shed" `Slow
+      test_request_retry_shed;
+    Alcotest.test_case "client retries through dropped connections" `Slow
+      test_request_retry_conn_drop;
+    Alcotest.test_case "identical in-flight requests dedup" `Slow test_dedup;
+    Alcotest.test_case "circuit breaker opens per program" `Quick
+      test_circuit_breaker;
+    Alcotest.test_case "SIGHUP hot-reloads config" `Slow test_sighup_reload;
+    Alcotest.test_case "checkpoint recovers warm state" `Slow
+      test_checkpoint_recovery;
+    Alcotest.test_case "torn checkpoint degrades to cold" `Slow
+      test_checkpoint_torn;
+    Alcotest.test_case "supervisor restarts a killed daemon" `Slow
+      test_supervisor_restart;
+    Alcotest.test_case "chaos soak: service survives, replies exact" `Slow
+      test_chaos_soak;
     Alcotest.test_case "multi-task requests are refused" `Quick
       test_multi_task_refused;
   ]
