@@ -221,6 +221,12 @@ let run files main tasks_opt no_oct no_ell no_dt no_clock no_lin no_thresholds
                 in_process ()
               end
           | Srv.Client.Reply rep -> (
+              (* the echoed request id joins this invocation to the
+                 daemon's trace span and access-log line *)
+              if verbose then
+                Option.iter
+                  (fun rid -> prerr_endline ("astree: daemon request " ^ rid))
+                  rep.Srv.Client.r_rid;
               match (rep.Srv.Client.r_status, rep.Srv.Client.r_report) with
               | "ok", Some report ->
                   print_string (report ^ "\n");

@@ -6,6 +6,7 @@
                    [--config FILE] [--client-quota N]
                    [--breaker-crashes N] [--breaker-cooldown SECS]
                    [--supervise] [--max-restarts N]
+                   [--http PORT] [--access-log FILE] [--access-log-max BYTES]
                    [--trace FILE] [--verbose]
 
    Serves newline-delimited JSON requests (analyze / status / metrics /
@@ -20,7 +21,8 @@ open Cmdliner
 
 let run socket workers queue_depth timeout max_mem cache_dir checkpoint
     checkpoint_period config_file client_quota breaker_crashes
-    breaker_cooldown supervise max_restarts trace_file verbose =
+    breaker_cooldown supervise max_restarts http_port access_log
+    access_log_max trace_file verbose =
   (match trace_file with
   | None -> ()
   | Some f ->
@@ -54,6 +56,9 @@ let run socket workers queue_depth timeout max_mem cache_dir checkpoint
       d_checkpoint = checkpoint;
       d_checkpoint_s = Float.max 0. checkpoint_period;
       d_config_file = config_file;
+      d_http_port = http_port;
+      d_access_log = access_log;
+      d_access_log_max = max 4096 access_log_max;
     }
   in
   let code =
@@ -73,6 +78,7 @@ let run socket workers queue_depth timeout max_mem cache_dir checkpoint
                 Srv.Supervisor.default with
                 Srv.Supervisor.s_max_restarts = max 0 max_restarts;
                 s_verbose = verbose;
+                s_access_log = access_log;
               }
             (fun ~restarts ~sup_started ->
               Srv.Daemon.run
@@ -190,6 +196,32 @@ let cmd =
               ~doc:
                 "Give up supervision after $(docv) restarts (0 = keep \
                  restarting forever)")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "http" ] ~docv:"PORT"
+              ~doc:
+                "Serve telemetry over HTTP on 127.0.0.1:$(docv): \
+                 $(b,/metrics) (Prometheus text exposition), \
+                 $(b,/healthz) (liveness), $(b,/readyz) (503 while \
+                 draining, saturated or all breakers open) and \
+                 $(b,/status) (the status-verb JSON); 0 picks a free \
+                 port")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "access-log" ] ~docv:"FILE"
+              ~doc:
+                "Append one JSONL record per request (rid, verb, \
+                 digest, outcome, queue/service seconds, cache hits) \
+                 plus start/drain/checkpoint/restart events to $(docv)")
+      $ Arg.(
+          value
+          & opt int (8 * 1024 * 1024)
+          & info [ "access-log-max" ] ~docv:"BYTES"
+              ~doc:
+                "Rotate the access log (atomic rename to \
+                 $(i,FILE)$(b,.1)) when it would exceed $(docv) bytes")
       $ Arg.(
           value
           & opt (some string) None

@@ -241,6 +241,41 @@ let absorb (delta : snapshot) : unit =
 
 let names (s : snapshot) = List.map (fun x -> x.s_name) s
 
+(* ---- typed export (Prometheus rendering and friends) ------------- *)
+
+type export = {
+  x_name : string;
+  x_kind : [ `Counter | `Timer | `Gauge | `Hist ];
+  x_int : int;
+  x_time : float;
+  x_buckets : int array;
+}
+
+let export (ss : snapshot) : export list =
+  List.map
+    (fun (s : sample) ->
+      {
+        x_name = s.s_name;
+        x_kind =
+          (match s.s_kind with
+          | Kcounter -> `Counter
+          | Ktimer -> `Timer
+          | Kgauge -> `Gauge
+          | Khist -> `Hist);
+        x_int = s.s_n;
+        x_time = s.s_t;
+        x_buckets = Array.copy s.s_buckets;
+      })
+    ss
+
+let find_int (ss : snapshot) (name : string) : int option =
+  List.find_map
+    (fun (s : sample) ->
+      if s.s_name = name && (s.s_kind = Kcounter || s.s_kind = Kgauge) then
+        Some s.s_n
+      else None)
+    ss
+
 (* ---- export ------------------------------------------------------ *)
 
 let json_escape (s : string) : string =

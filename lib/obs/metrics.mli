@@ -115,6 +115,28 @@ val names : snapshot -> string list
 
 (** {1 Export} *)
 
+(** One registry entry as plain data — the seam external renderers (the
+    Prometheus exposition in [lib/server/telemetry.ml]) consume without
+    depending on the registry internals.  For counters and gauges the
+    value is [x_int]; for timers, [x_time] (accumulated seconds); for
+    histograms, [x_buckets] (log2 buckets: bucket [i] counts
+    observations [v] with [2^i <= v+1 < 2^(i+1)]). *)
+type export = {
+  x_name : string;
+  x_kind : [ `Counter | `Timer | `Gauge | `Hist ];
+  x_int : int;
+  x_time : float;
+  x_buckets : int array;
+}
+
+val export : snapshot -> export list
+(** The snapshot's entries as {!export} records, in snapshot (name)
+    order. *)
+
+val find_int : snapshot -> string -> int option
+(** Value of the named counter or gauge in the snapshot, if present —
+    e.g. pulling [cache.hits] out of a worker delta. *)
+
 val render_json : ?timers:bool -> unit -> string
 (** The whole registry as one JSON object
     [{"counters": {..}, "gauges": {..}, "histograms": {..},

@@ -31,6 +31,12 @@ let enabled = ref false
 let with_time = ref true
 let capacity = ref 65536
 
+(* Ring evictions were silent before this counter existed: an operator
+   reading a truncated ring had no way to tell "quiet run" from "ring
+   too small".  Like [par.*], the count depends on buffer sizing, not
+   on the analysis — outside the determinism contract. *)
+let m_dropped = Metrics.counter "trace.dropped"
+
 type state = {
   (* growable buffer; [start] is the ring head (index of oldest event) *)
   mutable buf : event array;
@@ -134,7 +140,8 @@ let push (s : state) (e : event) =
   if s.sink = None && s.captures = 0 && s.len > 0 && s.len >= !capacity
   then begin
     s.start <- (s.start + 1) mod Array.length s.buf;
-    s.len <- s.len - 1
+    s.len <- s.len - 1;
+    Metrics.incr m_dropped
   end;
   let cap = Array.length s.buf in
   if s.len = cap then

@@ -2,8 +2,9 @@
 
 module Backoff = Astree_robust.Backoff
 module Metrics = Astree_obs.Metrics
+module Trace = Astree_obs.Trace
 
-let m_retries = Metrics.counter "srv.retries"
+let m_retries = Metrics.counter "srv.client.retries"
 
 let try_connect (path : string) : Unix.file_descr option =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -68,6 +69,7 @@ type reply = {
   r_error : string option;
   r_retry_after : float option;
   r_report : string option;
+  r_rid : string option;
   r_line : string;
 }
 
@@ -95,7 +97,7 @@ let decode (line : string) : reply =
   match Json.parse line with
   | Error _ ->
       { r_status = "error"; r_exit = 1; r_error = Some "unparsable reply";
-        r_retry_after = None; r_report = None; r_line = line }
+        r_retry_after = None; r_report = None; r_rid = None; r_line = line }
   | Ok j ->
       {
         r_status =
@@ -105,17 +107,23 @@ let decode (line : string) : reply =
         r_error = Json.to_str (Json.member "error" j);
         r_retry_after = Json.to_num (Json.member "retry_after_s" j);
         r_report = reply_report line;
+        r_rid = Json.to_str (Json.member "rid" j);
         r_line = line;
       }
 
 (* ---- requests ---------------------------------------------------- *)
 
-let analyze_request_json ?(id = 1) ~(sources : (string * string) list)
+let analyze_request_json ?(id = 1) ?rid ~(sources : (string * string) list)
     ~(main : string) ~(options : Service.options) () : Json.t =
+  (* the request id travels with the request: the daemon echoes it in
+     the reply and stamps it on the request's trace span and
+     access-log line, so one id joins the whole path *)
+  let rid = match rid with Some r -> r | None -> Telemetry.gen_id () in
   Json.Obj
     [
       ("verb", Json.Str "analyze");
       ("id", Json.Num (float_of_int id));
+      ("rid", Json.Str rid);
       ( "files",
         Json.List
           (List.map
@@ -126,9 +134,9 @@ let analyze_request_json ?(id = 1) ~(sources : (string * string) list)
       ("options", Service.options_to_json options);
     ]
 
-let analyze_request ?id ~(sources : (string * string) list) ~(main : string)
-    ~(options : Service.options) () : string =
-  Json.to_string (analyze_request_json ?id ~sources ~main ~options ())
+let analyze_request ?id ?rid ~(sources : (string * string) list)
+    ~(main : string) ~(options : Service.options) () : string =
+  Json.to_string (analyze_request_json ?id ?rid ~sources ~main ~options ())
 
 let request (path : string) (j : Json.t) : (reply, string) result =
   match try_connect path with
@@ -146,9 +154,14 @@ let request_retry ?(policy = Backoff.default) ?seed (path : string)
     (j : Json.t) : outcome =
   let seed = match seed with Some s -> s | None -> Unix.getpid () in
   let line = Json.to_string j in
+  let rid = Option.value ~default:"" (Json.to_str (Json.member "rid" j)) in
   (* [attempt] counts completed tries; [hint] is the daemon's own
      pacing suggestion (a shed reply's retry_after_s), preferred over
-     the blind backoff ladder when present *)
+     the blind backoff ladder when present.  Every retry is observable:
+     a [srv.client.retry] trace event per attempt plus the
+     [srv.client.retries] counter — a request that succeeded on its
+     third try no longer looks identical to one that succeeded on its
+     first. *)
   let backoff ~attempt ~reason ~hint k =
     if attempt + 1 > policy.Backoff.b_retries then Exhausted reason
     else begin
@@ -158,6 +171,15 @@ let request_retry ?(policy = Backoff.default) ?seed (path : string)
         | Some h when h > 0. -> Float.min h policy.Backoff.b_max
         | _ -> Backoff.delay policy ~seed ~attempt
       in
+      if !Trace.enabled then
+        Trace.emit "srv.client.retry"
+          ~args:
+            [
+              ("rid", Trace.S rid);
+              ("attempt", Trace.I (attempt + 1));
+              ("reason", Trace.S reason);
+              ("delay_s", Trace.F d);
+            ];
       (try Unix.sleepf d with Unix.Unix_error (Unix.EINTR, _, _) -> ());
       k (attempt + 1)
     end

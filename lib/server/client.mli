@@ -35,6 +35,7 @@ type reply = {
   r_retry_after : float option;
       (** shed replies: the daemon's pacing hint, seconds *)
   r_report : string option;   (** raw report bytes, analyze replies *)
+  r_rid : string option;      (** the daemon's echoed request id *)
   r_line : string;            (** the full reply line *)
 }
 
@@ -43,16 +44,20 @@ val reply_report : string -> string option
 
 val analyze_request_json :
   ?id:int ->
+  ?rid:string ->
   sources:(string * string) list ->
   main:string ->
   options:Service.options ->
   unit ->
   Json.t
 (** One analyze request as a JSON value (for {!request} and
-    {!request_retry}). *)
+    {!request_retry}).  [rid] is the request id stamped on the daemon's
+    reply, trace span and access-log line; one is minted with
+    {!Telemetry.gen_id} when not supplied. *)
 
 val analyze_request :
   ?id:int ->
+  ?rid:string ->
   sources:(string * string) list ->
   main:string ->
   options:Service.options ->
@@ -84,4 +89,6 @@ val request_retry :
     fails {e and} no socket file exists — a crashed-but-supervised
     daemon leaves its socket linked, which reads as "restarting, be
     patient" rather than "fall back".  Each retry bumps the
-    [srv.retries] metrics counter. *)
+    [srv.client.retries] metrics counter and, with tracing on, emits a
+    [srv.client.retry] event carrying the request id, attempt number,
+    reason and chosen delay. *)

@@ -36,6 +36,9 @@ type config = {
   d_restarts : int;
   d_supervised : bool;
   d_sup_started : float;
+  d_http_port : int option;        (* Some p: telemetry HTTP on 127.0.0.1:p *)
+  d_access_log : string option;
+  d_access_log_max : int;
 }
 
 let default : config =
@@ -60,6 +63,9 @@ let default : config =
     d_restarts = 0;
     d_supervised = false;
     d_sup_started = 0.;
+    d_http_port = None;
+    d_access_log = None;
+    d_access_log_max = 8 * 1024 * 1024;
   }
 
 (* ---- hot-reloadable configuration -------------------------------- *)
@@ -125,8 +131,10 @@ type conn = {
    pending when identical requests were deduplicated onto one worker *)
 and waiter = {
   wt_conn : conn;
-  wt_id : string;            (* the request id, already rendered *)
+  wt_id : string;            (* the protocol id, already rendered *)
+  wt_rid : string;           (* the request id (tracing/access log) *)
   wt_received : float;
+  wt_attached : bool;        (* true: joined an in-flight job (dedup) *)
 }
 
 and pending = {
@@ -140,6 +148,8 @@ type state = {
   mutable st_cfg : config;
   mutable st_gen : int;      (* config generation, bumped by SIGHUP *)
   st_pool : (Service.work, Service.outcome) Pool.t;
+  st_tele : Telemetry.t;
+  st_http : Http.t option;
   mutable st_listen : Unix.file_descr option;
   mutable st_conns : conn list;
   st_inflight : (int, pending) Hashtbl.t;       (* pool slot -> request *)
@@ -219,46 +229,56 @@ let reply st conn (line : string) =
 
 (* ---- reply rendering --------------------------------------------- *)
 
-let error_reply id msg =
-  Printf.sprintf "{\"id\": %s, \"status\": \"error\", \"error\": %s}" id
-    (Report.json_str msg)
+(* every reply echoes the request id so clients, trace spans and
+   access-log lines can be joined on it *)
+let error_reply ?(rid = "") id msg =
+  Printf.sprintf "{\"id\": %s, \"rid\": %s, \"status\": \"error\", \
+                  \"error\": %s}"
+    id (Report.json_str rid) (Report.json_str msg)
 
-let shed_reply ?(error = "queue full") id ~retry_after =
+let shed_reply ?(error = "queue full") ~rid id ~retry_after =
   Printf.sprintf
-    "{\"id\": %s, \"status\": \"shed\", \"error\": %s, \
+    "{\"id\": %s, \"rid\": %s, \"status\": \"shed\", \"error\": %s, \
      \"retry_after_s\": %.3f}"
-    id (Report.json_str error) retry_after
+    id (Report.json_str rid) (Report.json_str error) retry_after
 
-let shutting_down_reply id =
-  Printf.sprintf "{\"id\": %s, \"status\": \"shutting_down\"}" id
+let shutting_down_reply ~rid id =
+  Printf.sprintf "{\"id\": %s, \"rid\": %s, \"status\": \"shutting_down\"}" id
+    (Report.json_str rid)
 
 (* the report is spliced in verbatim and kept last, so clients can
    extract the exact bytes without reserializing *)
-let ok_reply ~id ~received ~preloaded (sv : Service.served) ~now =
+let ok_reply ~rid ~id ~received ~preloaded (sv : Service.served) ~now =
   let wait = Float.max 0. (now -. received -. sv.Service.sv_time) in
   Printf.sprintf
-    "{\"id\": %s, \"status\": \"ok\", \"exit\": %d, \"server\": \
+    "{\"id\": %s, \"rid\": %s, \"status\": \"ok\", \"exit\": %d, \"server\": \
      {\"wait_s\": %.6f, \"analysis_s\": %.6f, \"preloaded\": %d, \
      \"events\": %d, \"metrics\": %s}, \"report\": %s}"
-    id sv.sv_exit wait sv.sv_time preloaded
+    id (Report.json_str rid) sv.sv_exit wait sv.sv_time preloaded
     (List.length sv.sv_events)
     (Metrics.render_snapshot_json ~timers:false sv.sv_metrics)
     sv.sv_report
 
-let open_breakers st ~now =
-  if st.st_cfg.d_breaker_n <= 0 then 0
+(* breaker states: open (tripped, inside the cooldown), half-open
+   (tripped, cooldown elapsed — the next request is the probe) *)
+let breaker_counts st ~now =
+  if st.st_cfg.d_breaker_n <= 0 then (0, 0)
   else
     Hashtbl.fold
-      (fun _ (n, t) acc ->
-        if n >= st.st_cfg.d_breaker_n
-           && now -. t < st.st_cfg.d_breaker_cooldown
-        then acc + 1
-        else acc)
-      st.st_breaker 0
+      (fun _ (n, t) (opened, half) ->
+        if n >= st.st_cfg.d_breaker_n then
+          if now -. t < st.st_cfg.d_breaker_cooldown then (opened + 1, half)
+          else (opened, half + 1)
+        else (opened, half))
+      st.st_breaker (0, 0)
 
-let status_reply st id ~now =
+let open_breakers st ~now = fst (breaker_counts st ~now)
+
+(* the status body, shared between the status verb and GET /status *)
+let status_json st ~now =
+  let opened, half_open = breaker_counts st ~now in
   Printf.sprintf
-    "{\"id\": %s, \"status\": \"ok\", \"server\": {\"pid\": %d, \
+    "{\"pid\": %d, \
      \"uptime_s\": %.3f, \"workers\": %d, \"backend\": \"fork\", \
      \"inflight\": %d, \
      \"queued\": %d, \"served\": %d, \"shed\": %d, \"errors\": %d, \
@@ -266,8 +286,9 @@ let status_reply st id ~now =
      \"restarts\": %d, \"supervisor_uptime_s\": %.3f, \
      \"config_generation\": %d, \"queue_depth\": %d, \
      \"dedup_hits\": %d, \"breaker_open\": %d, \"breaker_rejects\": %d, \
-     \"recovered\": %d, \"checkpoints\": %d}}"
-    id (Unix.getpid ()) (now -. st.st_started)
+     \"recovered\": %d, \"checkpoints\": %d, \"checkpoint_age_s\": %.3f, \
+     \"breakers\": {\"open\": %d, \"half_open\": %d}, \"latency\": %s}"
+    (Unix.getpid ()) (now -. st.st_started)
     (* the daemon's own request pool is always the fork pool — workers
        must be killable and respawnable under foot; the analysis inside
        a worker picks its backend per request (see Service.config_of) *)
@@ -278,11 +299,19 @@ let status_reply st id ~now =
     st.st_cfg.d_supervised st.st_cfg.d_restarts
     (if st.st_cfg.d_sup_started > 0. then now -. st.st_cfg.d_sup_started
      else 0.)
-    st.st_gen st.st_cfg.d_queue_depth st.st_dedup (open_breakers st ~now)
+    st.st_gen st.st_cfg.d_queue_depth st.st_dedup opened
     st.st_breaker_rejects st.st_recovered st.st_ckpt_saves
+    (if st.st_ckpt_saves > 0 then now -. st.st_ckpt_t else -1.)
+    opened half_open
+    (Telemetry.quantiles_json st.st_tele)
 
-let metrics_reply id =
-  Printf.sprintf "{\"id\": %s, \"status\": \"ok\", \"metrics\": %s}" id
+let status_reply st ~rid id ~now =
+  Printf.sprintf "{\"id\": %s, \"rid\": %s, \"status\": \"ok\", \"server\": %s}"
+    id (Report.json_str rid) (status_json st ~now)
+
+let metrics_reply ~rid id =
+  Printf.sprintf "{\"id\": %s, \"rid\": %s, \"status\": \"ok\", \"metrics\": %s}"
+    id (Report.json_str rid)
     (Metrics.render_json ~timers:false ())
 
 (* ---- resident summary store -------------------------------------- *)
@@ -368,6 +397,11 @@ let save_checkpoint st ~now ~force =
         Metrics.incr m_ckpt_saves;
         Metrics.set_gauge "srv.checkpoint.entries" (List.length data);
         if !Trace.enabled then Trace.span_end "srv.checkpoint";
+        Telemetry.event st.st_tele ~now "checkpoint_save"
+          [
+            ("file", Json.Str file);
+            ("programs", Json.Num (float_of_int (List.length data)));
+          ];
         log st "checkpointed %d program(s) to %s" (List.length data) file
       end
 
@@ -386,6 +420,12 @@ let load_checkpoint st =
           st.st_recovered <- Hashtbl.length st.st_tables;
           st.st_ckpt_dirty <- false;
           Metrics.set_gauge "srv.checkpoint.entries" st.st_recovered;
+          Telemetry.event st.st_tele ~now:(Unix.gettimeofday ())
+            "checkpoint_load"
+            [
+              ("file", Json.Str file);
+              ("programs", Json.Num (float_of_int st.st_recovered));
+            ];
           log st "recovered %d warm program(s) from %s" st.st_recovered file)
 
 (* ---- admission --------------------------------------------------- *)
@@ -418,6 +458,19 @@ let record_latency st t =
   st.st_lat.(st.st_lat_n mod Array.length st.st_lat) <- t;
   st.st_lat_n <- st.st_lat_n + 1
 
+let tele_record st ~now ?(digest = "") ?(queue_s = 0.) ?(service_s = 0.)
+    ?(cache_hits = 0) ~verb ~outcome rid =
+  Telemetry.observe st.st_tele ~now
+    {
+      Telemetry.rc_rid = rid;
+      rc_verb = verb;
+      rc_digest = digest;
+      rc_outcome = outcome;
+      rc_queue_s = queue_s;
+      rc_service_s = service_s;
+      rc_cache_hits = cache_hits;
+    }
+
 let hard_deadline (pend : pending) =
   let t = pend.p_work.Service.w_options.Service.o_timeout in
   (* the degradation ladder's own envelope is 2x the budget; the pool
@@ -448,7 +501,11 @@ let attach st slot pend =
   | None -> ()
   | Some head ->
       let n = List.length pend.p_waiters in
-      head.p_waiters <- pend.p_waiters @ head.p_waiters;
+      (* attached waiters are marked so their completion records read
+         dedup, not ok: they rode another request's worker *)
+      head.p_waiters <-
+        List.map (fun w -> { w with wt_attached = true }) pend.p_waiters
+        @ head.p_waiters;
       st.st_dedup <- st.st_dedup + n;
       Metrics.add m_dedup n;
       log st "dedup: %d request(s) attached to in-flight job" n
@@ -490,10 +547,12 @@ let rec drain_queue st =
         end
 
 let admit st conn pend ~now =
-  ignore now;
   if st.st_draining then
     List.iter
-      (fun w -> reply st w.wt_conn (shutting_down_reply w.wt_id))
+      (fun w ->
+        tele_record st ~now ~digest:pend.p_digest ~verb:"analyze"
+          ~outcome:`Shutting_down w.wt_rid;
+        reply st w.wt_conn (shutting_down_reply ~rid:w.wt_rid w.wt_id))
       pend.p_waiters
   else
     match Hashtbl.find_opt st.st_keys pend.p_key with
@@ -509,7 +568,10 @@ let admit st conn pend ~now =
           List.iter
             (fun w ->
               log st "shed request %s (queue full)" w.wt_id;
-              reply st w.wt_conn (shed_reply w.wt_id ~retry_after))
+              tele_record st ~now ~digest:pend.p_digest ~verb:"analyze"
+                ~outcome:`Shed w.wt_rid;
+              reply st w.wt_conn
+                (shed_reply ~rid:w.wt_rid w.wt_id ~retry_after))
             pend.p_waiters
         end
         else if Queue.length conn.c_queue >= quota st then begin
@@ -520,9 +582,11 @@ let admit st conn pend ~now =
           List.iter
             (fun w ->
               log st "shed request %s (client quota)" w.wt_id;
+              tele_record st ~now ~digest:pend.p_digest ~verb:"analyze"
+                ~outcome:`Shed w.wt_rid;
               reply st w.wt_conn
-                (shed_reply ~error:"client quota exceeded" w.wt_id
-                   ~retry_after))
+                (shed_reply ~error:"client quota exceeded" ~rid:w.wt_rid
+                   w.wt_id ~retry_after))
             pend.p_waiters
         end
         else begin
@@ -561,13 +625,15 @@ let request_sources (j : Json.t) : ((string * string) list, string) result =
             with Sys_error msg -> Error msg)
       | None -> Error "analyze needs \"files\" or \"path\"")
 
-let handle_analyze st conn id (j : Json.t) ~now =
+let handle_analyze st conn ~rid id (j : Json.t) ~now =
   Metrics.incr m_requests;
   (* the supervisor's reason to exist: the daemon can die abruptly at
      the worst moment — mid-admission, request unreplied *)
   if Faultsim.fires Faultsim.Daemon_crash then Unix._exit 70;
   match request_sources j with
-  | Error msg -> reply st conn (error_reply id msg)
+  | Error msg ->
+      tele_record st ~now ~verb:"analyze" ~outcome:`Error rid;
+      reply st conn (error_reply ~rid id msg)
   | Ok sources -> (
       let main =
         Option.value ~default:"main" (Json.to_str (Json.member "main" j))
@@ -602,8 +668,10 @@ let handle_analyze st conn id (j : Json.t) ~now =
              && n >= st.st_cfg.d_breaker_n
              && now -. t < st.st_cfg.d_breaker_cooldown ->
           st.st_breaker_rejects <- st.st_breaker_rejects + 1;
+          tele_record st ~now ~digest ~verb:"analyze" ~outcome:`Breaker_open
+            rid;
           reply st conn
-            (error_reply id
+            (error_reply ~rid id
                (Printf.sprintf
                   "circuit breaker open: analysis crashed %d times in a \
                    row for this program; retrying in %.0fs"
@@ -641,25 +709,53 @@ let handle_analyze st conn id (j : Json.t) ~now =
               p_digest = digest;
               p_key =
                 digest ^ "|" ^ Json.to_string (Service.options_to_json o);
-              p_waiters = [ { wt_conn = conn; wt_id = id; wt_received = now } ];
+              p_waiters =
+                [
+                  {
+                    wt_conn = conn;
+                    wt_id = id;
+                    wt_rid = rid;
+                    wt_received = now;
+                    wt_attached = false;
+                  };
+                ];
             }
             ~now)
 
 let handle_line st conn (line : string) ~now =
   match Json.parse line with
-  | Error msg -> reply st conn (error_reply "null" ("bad request: " ^ msg))
+  | Error msg ->
+      tele_record st ~now ~verb:"?" ~outcome:`Error (Telemetry.gen_id ());
+      reply st conn (error_reply "null" ("bad request: " ^ msg))
   | Ok j -> (
       let id = Json.to_string (Json.member "id" j) in
+      (* clients may mint their own request id; one is assigned here
+         otherwise, so every reply/span/log line carries one *)
+      let rid =
+        match Json.to_str (Json.member "rid" j) with
+        | Some r when r <> "" -> r
+        | _ -> Telemetry.gen_id ()
+      in
       match Json.to_str (Json.member "verb" j) with
-      | Some "analyze" -> handle_analyze st conn id j ~now
-      | Some "status" -> reply st conn (status_reply st id ~now)
-      | Some "metrics" -> reply st conn (metrics_reply id)
+      | Some "analyze" -> handle_analyze st conn ~rid id j ~now
+      | Some "status" ->
+          tele_record st ~now ~verb:"status" ~outcome:`Ok rid;
+          reply st conn (status_reply st ~rid id ~now)
+      | Some "metrics" ->
+          tele_record st ~now ~verb:"metrics" ~outcome:`Ok rid;
+          reply st conn (metrics_reply ~rid id)
       | Some "shutdown" ->
+          tele_record st ~now ~verb:"shutdown" ~outcome:`Ok rid;
           reply st conn
-            (Printf.sprintf "{\"id\": %s, \"status\": \"ok\"}" id);
+            (Printf.sprintf "{\"id\": %s, \"rid\": %s, \"status\": \"ok\"}" id
+               (Report.json_str rid));
           Budget.interrupt ()
-      | Some v -> reply st conn (error_reply id ("unknown verb: " ^ v))
-      | None -> reply st conn (error_reply id "missing verb"))
+      | Some v ->
+          tele_record st ~now ~verb:v ~outcome:`Error rid;
+          reply st conn (error_reply ~rid id ("unknown verb: " ^ v))
+      | None ->
+          tele_record st ~now ~verb:"?" ~outcome:`Error rid;
+          reply st conn (error_reply ~rid id "missing verb"))
 
 (* read whatever the connection has, split off complete lines *)
 let handle_readable st conn ~now =
@@ -692,22 +788,53 @@ let finish st slot ~now =
       Hashtbl.remove st.st_inflight slot;
       Hashtbl.remove st.st_keys pend.p_key;
       let waiters = List.rev pend.p_waiters in    (* arrival order *)
+      (* the originating request (dedup riders joined it later) *)
+      let head_rid =
+        match waiters with w :: _ -> w.wt_rid | [] -> ""
+      in
       (match Pool.reap st.st_pool slot with
       | Ok (Service.Served sv) ->
+          (* worker deltas land under a srv.request span stamped with
+             the request id, so a trace consumer can attribute every
+             absorbed event to the request that produced it.  The span
+             is opened only around the absorb — never across requests —
+             which keeps begin/end strictly nested for the CI trace
+             checker. *)
+          if !Trace.enabled then
+            Trace.span_begin "srv.request"
+              ~args:
+                [
+                  ("rid", Trace.S head_rid);
+                  ("verb", Trace.S "analyze");
+                  ("digest", Trace.S pend.p_digest);
+                ];
           Metrics.absorb sv.Service.sv_metrics;
-          if !Trace.enabled then Trace.absorb sv.Service.sv_events;
+          if !Trace.enabled then begin
+            Trace.absorb sv.Service.sv_events;
+            Trace.span_end "srv.request" ~args:[ ("rid", Trace.S head_rid) ]
+          end;
           absorb_tables st pend.p_digest sv.Service.sv_tables;
           record_latency st sv.Service.sv_time;
           Hashtbl.remove st.st_breaker pend.p_digest;
           let preloaded = List.length pend.p_work.Service.w_preload in
+          let cache_hits =
+            Option.value ~default:0
+              (Metrics.find_int sv.Service.sv_metrics "cache.hits")
+          in
           List.iter
             (fun w ->
               st.st_served <- st.st_served + 1;
               log st "served %s: exit %d, %d alarms, %.3fs" w.wt_id
                 sv.Service.sv_exit sv.Service.sv_alarms sv.Service.sv_time;
+              tele_record st ~now ~digest:pend.p_digest
+                ~queue_s:
+                  (Float.max 0. (now -. w.wt_received -. sv.Service.sv_time))
+                ~service_s:sv.Service.sv_time ~cache_hits ~verb:"analyze"
+                ~outcome:(if w.wt_attached then `Dedup else `Ok)
+                w.wt_rid;
               reply st w.wt_conn
-                (ok_reply ~id:w.wt_id ~received:w.wt_received ~preloaded sv
-                   ~now))
+                (ok_reply ~rid:w.wt_rid ~id:w.wt_id ~received:w.wt_received
+                   ~preloaded sv ~now))
             waiters
       | Ok (Service.Refused msg) ->
           (* a request-level refusal is not a crash: the worker lived *)
@@ -715,7 +842,10 @@ let finish st slot ~now =
           List.iter
             (fun w ->
               st.st_errors <- st.st_errors + 1;
-              reply st w.wt_conn (error_reply w.wt_id msg))
+              tele_record st ~now ~digest:pend.p_digest
+                ~queue_s:(Float.max 0. (now -. w.wt_received))
+                ~verb:"analyze" ~outcome:`Error w.wt_rid;
+              reply st w.wt_conn (error_reply ~rid:w.wt_rid w.wt_id msg))
             waiters
       | Error msg ->
           if msg = "worker crashed" && st.st_cfg.d_breaker_n > 0 then begin
@@ -734,7 +864,10 @@ let finish st slot ~now =
             (fun w ->
               st.st_errors <- st.st_errors + 1;
               log st "request %s failed: %s" w.wt_id msg;
-              reply st w.wt_conn (error_reply w.wt_id msg))
+              tele_record st ~now ~digest:pend.p_digest
+                ~queue_s:(Float.max 0. (now -. w.wt_received))
+                ~verb:"analyze" ~outcome:`Error w.wt_rid;
+              reply st w.wt_conn (error_reply ~rid:w.wt_rid w.wt_id msg))
             waiters);
       drain_queue st
 
@@ -751,7 +884,11 @@ let cancel_expired st ~now =
             (fun w ->
               st.st_errors <- st.st_errors + 1;
               log st "request %s timed out (hard limit)" w.wt_id;
-              reply st w.wt_conn (error_reply w.wt_id "request timed out"))
+              tele_record st ~now ~digest:pend.p_digest
+                ~queue_s:(Float.max 0. (now -. w.wt_received))
+                ~verb:"analyze" ~outcome:`Timeout w.wt_rid;
+              reply st w.wt_conn
+                (error_reply ~rid:w.wt_rid w.wt_id "request timed out"))
             (List.rev pend.p_waiters))
     (Pool.expired_slots st.st_pool ~now);
   drain_queue st
@@ -773,24 +910,32 @@ let begin_drain st ~now =
       Queue.iter
         (fun pend ->
           List.iter
-            (fun w -> reply st w.wt_conn (shutting_down_reply w.wt_id))
+            (fun w ->
+              tele_record st ~now ~digest:pend.p_digest ~verb:"analyze"
+                ~outcome:`Shutting_down w.wt_rid;
+              reply st w.wt_conn (shutting_down_reply ~rid:w.wt_rid w.wt_id))
             (List.rev pend.p_waiters))
         conn.c_queue;
       Queue.clear conn.c_queue)
     st.st_conns;
   st.st_queued <- 0;
   Queue.clear st.st_rr;
+  Telemetry.event st.st_tele ~now "drain_begin"
+    [ ("inflight", Json.Num (float_of_int (Hashtbl.length st.st_inflight))) ];
   log st "shutting down: %d in-flight request(s) draining"
     (Hashtbl.length st.st_inflight)
 
-let force_cancel_inflight st =
+let force_cancel_inflight st ~now =
   Hashtbl.iter
     (fun slot pend ->
       Pool.cancel st.st_pool slot;
       List.iter
         (fun w ->
+          tele_record st ~now ~digest:pend.p_digest ~verb:"analyze"
+            ~outcome:`Error w.wt_rid;
           reply st w.wt_conn
-            (error_reply w.wt_id "canceled: daemon shutting down"))
+            (error_reply ~rid:w.wt_rid w.wt_id
+               "canceled: daemon shutting down"))
         (List.rev pend.p_waiters))
     st.st_inflight;
   Hashtbl.reset st.st_inflight;
@@ -814,6 +959,36 @@ let reload st =
           st.st_cfg <- cfg;
           st.st_gen <- st.st_gen + 1;
           log st "config reloaded from %s (generation %d)" file st.st_gen)
+
+(* ---- telemetry HTTP endpoints ------------------------------------ *)
+
+(* readiness: able to accept an analyze request right now.  Distinct
+   from liveness — a draining or saturated daemon is alive but a load
+   balancer should stop routing to it. *)
+let readiness st ~now : (unit, string) result =
+  if st.st_draining then Error "draining"
+  else if st.st_queued >= st.st_cfg.d_queue_depth then Error "queue full"
+  else begin
+    let opened = open_breakers st ~now in
+    if opened > 0 && opened = Hashtbl.length st.st_breaker then
+      Error "all circuit breakers open"
+    else Ok ()
+  end
+
+let http_handle st (path : string) : int * string * string =
+  let now = Unix.gettimeofday () in
+  match path with
+  | "/metrics" ->
+      ( 200,
+        "text/plain; version=0.0.4; charset=utf-8",
+        Telemetry.render_prometheus st.st_tele ~now (Metrics.snapshot ()) )
+  | "/healthz" -> (200, "text/plain", "ok\n")
+  | "/readyz" -> (
+      match readiness st ~now with
+      | Ok () -> (200, "text/plain", "ready\n")
+      | Error why -> (503, "text/plain", "not ready: " ^ why ^ "\n"))
+  | "/status" -> (200, "application/json", status_json st ~now ^ "\n")
+  | _ -> (404, "text/plain", "not found\n")
 
 (* ---- socket setup ------------------------------------------------ *)
 
@@ -856,12 +1031,29 @@ let run (dc : config) : int =
       prerr_endline
         ("astreed: cannot bind " ^ dc.d_socket ^ ": " ^ Unix.error_message e);
       1
-  | listen_fd ->
+  | listen_fd -> (
+      match
+        match dc.d_http_port with
+        | None -> Ok None
+        | Some p -> Result.map Option.some (Http.create ~port:p)
+      with
+      | Error msg ->
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          (try Unix.unlink dc.d_socket
+           with Unix.Unix_error _ | Sys_error _ -> ());
+          prerr_endline ("astreed: " ^ msg);
+          1
+      | Ok http ->
       let st =
         {
           st_cfg = dc;
           st_gen = 0;
           st_pool = Pool.create ~jobs:(max 1 dc.d_workers) Service.serve;
+          st_tele =
+            Telemetry.create ?access_log:dc.d_access_log
+              ~max_log_bytes:dc.d_access_log_max ~now:(Unix.gettimeofday ())
+              ();
+          st_http = http;
           st_listen = Some listen_fd;
           st_conns = [];
           st_inflight = Hashtbl.create 16;
@@ -897,6 +1089,16 @@ let run (dc : config) : int =
             (match st.st_listen with
             | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
             | None -> ());
+            (match st.st_http with
+            | Some h ->
+                List.iter
+                  (fun fd ->
+                    try Unix.close fd with Unix.Unix_error _ -> ())
+                  (Http.all_fds h)
+            | None -> ());
+            (* the worker must not inherit the access-log channel:
+               its buffered bytes belong to the daemon alone *)
+            Telemetry.close st.st_tele;
             List.iter
               (fun c ->
                 try Unix.close c.c_fd with Unix.Unix_error _ -> ())
@@ -906,11 +1108,25 @@ let run (dc : config) : int =
       load_checkpoint st;
       if dc.d_restarts > 0 then
         Metrics.set_gauge "srv.restarts" dc.d_restarts;
-      log st "listening on %s (%d worker(s), queue depth %d%s)" dc.d_socket
+      Telemetry.event st.st_tele ~now:(Unix.gettimeofday ()) "start"
+        ([
+           ("pid", Json.Num (float_of_int (Unix.getpid ())));
+           ("socket", Json.Str dc.d_socket);
+           ("restarts", Json.Num (float_of_int dc.d_restarts));
+           ("recovered", Json.Num (float_of_int st.st_recovered));
+         ]
+        @
+        match st.st_http with
+        | Some h -> [ ("http_port", Json.Num (float_of_int (Http.port h))) ]
+        | None -> []);
+      log st "listening on %s (%d worker(s), queue depth %d%s%s)" dc.d_socket
         (Pool.size st.st_pool) dc.d_queue_depth
         (if st.st_recovered > 0 then
            Printf.sprintf ", %d program(s) warm" st.st_recovered
-         else "");
+         else "")
+        (match st.st_http with
+        | Some h -> Printf.sprintf ", http 127.0.0.1:%d" (Http.port h)
+        | None -> "");
       let rec loop () =
         let now = Unix.gettimeofday () in
         if !hup_pending then begin
@@ -925,12 +1141,15 @@ let run (dc : config) : int =
             st.st_draining
             && now -. st.st_drain_t > st.st_cfg.d_grace
             && Hashtbl.length st.st_inflight > 0
-          then force_cancel_inflight st;
+          then force_cancel_inflight st ~now;
           if st.st_draining && Hashtbl.length st.st_inflight = 0 then ()
           else begin
             let busy = Pool.busy_fds st.st_pool in
+            (* the http listener stays select-able through the drain so
+               /readyz can tell the load balancer 503 until exit *)
             let rfds =
               (match st.st_listen with Some fd -> [ fd ] | None -> [])
+              @ (match st.st_http with Some h -> Http.fds h | None -> [])
               @ List.map (fun c -> c.c_fd) st.st_conns
               @ List.map fst busy
             in
@@ -954,6 +1173,9 @@ let run (dc : config) : int =
                     if conn.c_alive && List.mem conn.c_fd ready then
                       handle_readable st conn ~now)
                   st.st_conns;
+                (match st.st_http with
+                | Some h -> Http.handle_ready h ~ready (http_handle st)
+                | None -> ());
                 (match st.st_listen with
                 | Some fd when List.mem fd ready -> (
                     match Unix.accept fd with
@@ -984,6 +1206,14 @@ let run (dc : config) : int =
           (try Unix.unlink dc.d_socket
            with Unix.Unix_error _ | Sys_error _ -> ())
       | None -> ());
+      (match st.st_http with Some h -> Http.close h | None -> ());
+      Telemetry.event st.st_tele ~now:(Unix.gettimeofday ()) "exit"
+        [
+          ("served", Json.Num (float_of_int st.st_served));
+          ("shed", Json.Num (float_of_int st.st_shed));
+          ("errors", Json.Num (float_of_int st.st_errors));
+        ];
+      Telemetry.close st.st_tele;
       log st "exited cleanly (%d served, %d shed, %d errors)" st.st_served
         st.st_shed st.st_errors;
-      0
+      0)

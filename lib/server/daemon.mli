@@ -14,7 +14,11 @@
     [shutdown]) and an optional [id] echoed in the reply; replies carry
     a [status] of [ok], [error], [shed] (admission refused: queue full
     or per-client quota, with a [retry_after_s] pacing hint) or
-    [shutting_down].  See DESIGN.md section 12 for the full grammar.
+    [shutting_down].  Every reply also echoes a request id [rid]
+    (client-minted, or assigned on arrival) that stamps the request's
+    trace span and access-log line — the join key across client,
+    daemon and telemetry.  See DESIGN.md section 12 for the full
+    grammar.
 
     {b Admission and fairness.}  Identical concurrent requests (same
     source digest and resolved options) share one worker job and each
@@ -83,6 +87,17 @@ type config = {
   d_supervised : bool;       (** running under [astreed --supervise] *)
   d_sup_started : float;     (** supervisor start time (epoch seconds;
                                  [0.] = not supervised) *)
+  d_http_port : int option;
+      (** telemetry HTTP listener on [127.0.0.1:port] serving
+          [/metrics], [/healthz], [/readyz] and [/status]; [Some 0]
+          picks a free port, [None] (default) disables the listener *)
+  d_access_log : string option;
+      (** JSONL access log: one line per request lifecycle record plus
+          start/drain/checkpoint/exit events; [None] = no log *)
+  d_access_log_max : int;
+      (** access-log rotation threshold in bytes: when the next line
+          would exceed it the file is atomically renamed to [FILE.1]
+          and restarted *)
 }
 
 val default : config

@@ -1,0 +1,152 @@
+(* Minimal HTTP/1.0 listener for the telemetry endpoints.  See
+   http.mli.
+
+   This is deliberately not a web server: GET only, no keep-alive, no
+   chunking, responses are built whole and written once.  The daemon's
+   select loop owns all the fds; this module just turns readable fds
+   into (path -> response) handler calls. *)
+
+type conn = {
+  h_fd : Unix.file_descr;
+  h_buf : Buffer.t;
+  mutable h_alive : bool;
+}
+
+type t = {
+  t_listen : Unix.file_descr;
+  t_port : int;
+  mutable t_conns : conn list;
+}
+
+let max_request = 8192           (* bytes of headers we accept *)
+
+let create ~(port : int) : (t, string) result =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    (* telemetry is unauthenticated: bind loopback only *)
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 16;
+    let port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    Ok { t_listen = fd; t_port = port; t_conns = [] }
+  with Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot bind http port %d: %s" port
+         (Unix.error_message e))
+
+let port t = t.t_port
+
+let fds t =
+  t.t_listen :: List.map (fun c -> c.h_fd) (List.filter (fun c -> c.h_alive) t.t_conns)
+
+(* every inherited server fd must vanish in forked pool workers, same
+   as the Unix-socket fds (see Pool.at_child_fork in the daemon) *)
+let all_fds = fds
+
+let close_conn t conn =
+  if conn.h_alive then begin
+    conn.h_alive <- false;
+    (try Unix.close conn.h_fd with Unix.Unix_error _ -> ());
+    t.t_conns <- List.filter (fun c -> c != conn) t.t_conns
+  end
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Internal Server Error"
+
+let rec write_all fd s off =
+  let n = String.length s - off in
+  if n > 0 then
+    match Unix.write_substring fd s off n with
+    | k -> write_all fd s (off + k)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off
+
+let respond t conn ~(code : int) ~(content_type : string) (body : string) =
+  let response =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n%s"
+      code (status_text code) content_type (String.length body) body
+  in
+  (try write_all conn.h_fd response 0 with Unix.Unix_error _ -> ());
+  close_conn t conn
+
+(* the request is complete once the header block terminator arrives;
+   request bodies are not supported (GET only) *)
+let headers_done (data : string) : bool =
+  let rec find i =
+    i + 1 < String.length data
+    && ((data.[i] = '\n' && data.[i + 1] = '\n')
+       || (i + 3 < String.length data
+          && data.[i] = '\r' && data.[i + 1] = '\n' && data.[i + 2] = '\r'
+          && data.[i + 3] = '\n')
+       || find (i + 1))
+  in
+  find 0
+
+let request_line (data : string) : (string * string) option =
+  match String.index_opt data '\n' with
+  | None -> None
+  | Some i ->
+      let line = String.trim (String.sub data 0 i) in
+      (match String.split_on_char ' ' line with
+      | meth :: path :: _ -> Some (meth, path)
+      | _ -> None)
+
+let handle_conn t conn (handler : string -> int * string * string) =
+  let chunk = Bytes.create 4096 in
+  match Unix.read conn.h_fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn t conn
+  | 0 -> close_conn t conn
+  | n -> (
+      Buffer.add_subbytes conn.h_buf chunk 0 n;
+      let data = Buffer.contents conn.h_buf in
+      if String.length data > max_request then
+        respond t conn ~code:400 ~content_type:"text/plain"
+          "request too large\n"
+      else if headers_done data then
+        match request_line data with
+        | None ->
+            respond t conn ~code:400 ~content_type:"text/plain" "bad request\n"
+        | Some (meth, path) ->
+            if meth <> "GET" then
+              respond t conn ~code:405 ~content_type:"text/plain"
+                "method not allowed\n"
+            else
+              (* strip any query string: the endpoints take none *)
+              let path =
+                match String.index_opt path '?' with
+                | Some i -> String.sub path 0 i
+                | None -> path
+              in
+              let code, content_type, body = handler path in
+              respond t conn ~code ~content_type body)
+
+let handle_ready t ~(ready : Unix.file_descr list)
+    (handler : string -> int * string * string) : unit =
+  List.iter
+    (fun conn ->
+      if conn.h_alive && List.mem conn.h_fd ready then
+        handle_conn t conn handler)
+    t.t_conns;
+  if List.mem t.t_listen ready then
+    match Unix.accept t.t_listen with
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+        t.t_conns <-
+          { h_fd = fd; h_buf = Buffer.create 256; h_alive = true }
+          :: t.t_conns
+
+let close t =
+  List.iter (fun c -> close_conn t c) t.t_conns;
+  try Unix.close t.t_listen with Unix.Unix_error _ -> ()

@@ -1,0 +1,37 @@
+(** Minimal HTTP/1.0 listener for the daemon's telemetry endpoints
+    ([astreed --http PORT]): the roadmap's transport seam, multiplexed
+    into the daemon's existing select loop rather than running its own.
+
+    Scope is deliberately tiny — GET only, loopback only, no
+    keep-alive: every request is answered with [Connection: close] and
+    the socket shut.  The daemon contributes {!fds} to its [select]
+    read set and calls {!handle_ready} with the readable ones; this
+    module never blocks outside an accept/read/write on an fd select
+    declared ready. *)
+
+type t
+
+val create : port:int -> (t, string) result
+(** Bind and listen on [127.0.0.1:port] ([port = 0] picks a free one,
+    readable back through {!port}). *)
+
+val port : t -> int
+
+val fds : t -> Unix.file_descr list
+(** The listening fd plus every open connection fd — add to the select
+    read set. *)
+
+val all_fds : t -> Unix.file_descr list
+(** Same as {!fds}; the daemon closes these in forked pool workers so a
+    worker's stale copy can never hold a connection open. *)
+
+val handle_ready :
+  t -> ready:Unix.file_descr list -> (string -> int * string * string) -> unit
+(** Accept/read on whichever of {!fds} appear in [ready].  A complete
+    request invokes the handler with the path (query string stripped);
+    the handler returns [(status_code, content_type, body)].  Non-GET
+    methods get 405, oversized or malformed requests 400, all without
+    touching the handler. *)
+
+val close : t -> unit
+(** Close the listener and every open connection. *)

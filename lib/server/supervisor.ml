@@ -8,6 +8,7 @@ type config = {
   s_max_restarts : int;
   s_reset_after : float;
   s_verbose : bool;
+  s_access_log : string option;
 }
 
 let default : config =
@@ -16,7 +17,17 @@ let default : config =
     s_max_restarts = 0;
     s_reset_after = 10.;
     s_verbose = false;
+    s_access_log = None;
   }
+
+(* restart records share the daemon's access log (O_APPEND one-shot
+   writes; the daemon alone rotates), so an operator reads request
+   outcomes and restart history from one stream *)
+let log_event (cfg : config) kind fields =
+  match cfg.s_access_log with
+  | None -> ()
+  | Some path ->
+      Telemetry.append_event ~path ~now:(Unix.gettimeofday ()) kind fields
 
 let log (cfg : config) fmt =
   Format.kasprintf
@@ -100,6 +111,11 @@ let run ?(config = default)
                    "astreed-sup: daemon %s; restart budget (%d) exhausted, \
                     giving up"
                    (status_string status) config.s_max_restarts);
+              log_event config "supervisor_give_up"
+                [
+                  ("child_status", Json.Str (status_string status));
+                  ("restarts", Json.Num (float_of_int restarts));
+                ];
               1
             end
             else begin
@@ -114,6 +130,13 @@ let run ?(config = default)
                    "astreed-sup: daemon %s after %.1fs, restarting in %.2fs \
                     (restart %d)"
                    (status_string status) uptime delay (restarts + 1));
+              log_event config "restart"
+                [
+                  ("child_status", Json.Str (status_string status));
+                  ("uptime_s", Json.Num uptime);
+                  ("delay_s", Json.Num delay);
+                  ("restart", Json.Num (float_of_int (restarts + 1)));
+                ];
               Backoff.sleep config.s_policy ~seed ~attempt;
               if !stopping then 0 else loop ~restarts:(restarts + 1) ~attempt
             end)

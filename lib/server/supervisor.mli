@@ -27,6 +27,10 @@ type config = {
   s_reset_after : float;
       (** seconds of child uptime that reset the backoff ladder *)
   s_verbose : bool;
+  s_access_log : string option;
+      (** append [restart] / [supervisor_give_up] records to the
+          daemon's JSONL access log (one-shot O_APPEND writes from the
+          supervisor process; the daemon alone rotates the file) *)
 }
 
 val default : config

@@ -36,4 +36,5 @@ let () =
       ("concurrency", Test_concurrency.suite);
       ("robust", Test_robust.suite);
       ("server", Test_server.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -122,6 +122,18 @@ let test_ring_eviction () =
     "ring keeps the most recent capacity events"
     [ "e7"; "e8"; "e9"; "e10" ] (kinds ())
 
+let test_eviction_counter () =
+  with_trace ~capacity:4 @@ fun () ->
+  let dropped = M.counter "trace.dropped" in
+  let before = M.value dropped in
+  for i = 1 to 10 do
+    T.emit (Printf.sprintf "e%d" i)
+  done;
+  (* 10 events through a 4-slot ring: 6 evictions, each one counted —
+     the counter is the only witness that the ring overflowed *)
+  Alcotest.(check int) "evictions land in trace.dropped" 6
+    (M.value dropped - before)
+
 let test_capture_suspends_eviction () =
   with_trace ~capacity:4 @@ fun () ->
   T.emit "before";
@@ -410,6 +422,8 @@ let suite =
       test_render_json_stable;
     Alcotest.test_case "metrics: reset_named" `Quick test_reset_named;
     Alcotest.test_case "trace: ring eviction" `Quick test_ring_eviction;
+    Alcotest.test_case "trace: eviction bumps trace.dropped" `Quick
+      test_eviction_counter;
     Alcotest.test_case "trace: capture suspends eviction" `Quick
       test_capture_suspends_eviction;
     Alcotest.test_case "trace: JSONL serialization" `Quick test_to_json;

@@ -85,8 +85,8 @@ let no_faults = [ (R.Faultsim.Worker_crash, 0.0) ]
    SIGTERMed and reaped afterwards. *)
 let with_daemon_ex ?(workers = 2) ?(queue = 8) ?(grace = 10.)
     ?faults ?(hang = 3600.) ?(seed = 42) ?config_file ?checkpoint
-    ?(checkpoint_s = 0.) ?(sock = fresh_socket ())
-    (k : string -> int -> unit) : unit =
+    ?(checkpoint_s = 0.) ?http_port ?access_log
+    ?(sock = fresh_socket ()) (k : string -> int -> unit) : unit =
   let faults = Option.value ~default:no_faults faults in
   flush stdout;
   flush stderr;
@@ -107,6 +107,8 @@ let with_daemon_ex ?(workers = 2) ?(queue = 8) ?(grace = 10.)
               d_config_file = config_file;
               d_checkpoint = checkpoint;
               d_checkpoint_s = checkpoint_s;
+              d_http_port = http_port;
+              d_access_log = access_log;
             }
         with _ -> 1
       in
@@ -1109,6 +1111,249 @@ let test_chaos_soak () =
       in
       alive 30)
 
+(* ---- request ids over the wire ----------------------------------- *)
+
+let test_rid_echo () =
+  with_daemon (fun sock ->
+      (* a supplied rid is echoed verbatim *)
+      let rep =
+        ok_exn
+          (Srv.Client.request sock
+             (Srv.Json.Obj
+                [
+                  ("verb", Srv.Json.Str "status");
+                  ("rid", Srv.Json.Str "r-my-trace-id");
+                ]))
+      in
+      Alcotest.(check (option string))
+        "status echoes the rid" (Some "r-my-trace-id")
+        rep.Srv.Client.r_rid;
+      (* the client stamps analyze requests itself; the daemon echoes *)
+      let req = analyze_json ~id:1 [ ("t.c", prog_simple) ] in
+      let sent_rid = Srv.Json.to_str (Srv.Json.member "rid" req) in
+      Alcotest.(check bool) "client mints a rid" true (sent_rid <> None);
+      let rep = ok_exn (Srv.Client.request sock req) in
+      Alcotest.(check (option string))
+        "analyze echoes the client's rid" sent_rid rep.Srv.Client.r_rid;
+      (* a rid-less request still gets one (daemon-minted, unique) *)
+      let bare () =
+        let rep =
+          ok_exn
+            (Srv.Client.request sock
+               (Srv.Json.Obj [ ("verb", Srv.Json.Str "status") ]))
+        in
+        match rep.Srv.Client.r_rid with
+        | Some r when r <> "" -> r
+        | _ -> Alcotest.fail "daemon did not mint a rid"
+      in
+      let r1 = bare () and r2 = bare () in
+      Alcotest.(check bool) "daemon-minted rids are distinct" true (r1 <> r2);
+      (* error replies carry the rid too *)
+      let rep =
+        ok_exn
+          (Srv.Client.request sock
+             (Srv.Json.Obj
+                [
+                  ("verb", Srv.Json.Str "explode");
+                  ("rid", Srv.Json.Str "r-err-1");
+                ]))
+      in
+      Alcotest.(check string) "unknown verb errors" "error"
+        rep.Srv.Client.r_status;
+      Alcotest.(check (option string))
+        "error reply echoes the rid" (Some "r-err-1") rep.Srv.Client.r_rid)
+
+(* ---- telemetry HTTP endpoint ------------------------------------- *)
+
+(* The daemon forks before binding its HTTP port, so the test cannot
+   read a kernel-chosen port back: pick a pseudo-random high port from
+   the pid and a per-test offset instead. *)
+let test_port =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    17000 + (((Unix.getpid () * 131) + (!n * 977)) mod 40000)
+
+(* one HTTP/1.0 GET against the daemon's telemetry listener *)
+let http_get port path : int * string =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = "GET " ^ path ^ " HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 65536 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let code =
+        try Scanf.sscanf raw "HTTP/1.0 %d" (fun c -> c) with _ -> -1
+      in
+      let body =
+        let marker = "\r\n\r\n" in
+        let rec find i =
+          if i + 4 > String.length raw then String.length raw
+          else if String.sub raw i 4 = marker then i + 4
+          else find (i + 1)
+        in
+        let start = find 0 in
+        String.sub raw start (String.length raw - start)
+      in
+      (code, body))
+
+let rec http_get_retry ?(n = 40) port path =
+  match http_get port path with
+  | r -> r
+  | exception Unix.Unix_error _ when n > 0 ->
+      Unix.sleepf 0.05;
+      http_get_retry ~n:(n - 1) port path
+
+let test_http_endpoints () =
+  let port = test_port () in
+  with_daemon_ex ~http_port:port (fun sock _pid ->
+      let code, body = http_get_retry port "/healthz" in
+      Alcotest.(check int) "healthz 200" 200 code;
+      Alcotest.(check string) "healthz body" "ok\n" body;
+      let code, _ = http_get_retry port "/readyz" in
+      Alcotest.(check int) "readyz 200 when idle" 200 code;
+      (* serve one request, then scrape *)
+      let rep =
+        ok_exn
+          (Srv.Client.request sock (analyze_json [ ("t.c", prog_simple) ]))
+      in
+      Alcotest.(check string) "analyze ok" "ok" rep.Srv.Client.r_status;
+      let code, body = http_get_retry port "/metrics" in
+      Alcotest.(check int) "metrics 200" 200 code;
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) ("exposition has " ^ sub) true
+            (has_sub body sub))
+        [
+          "astreed_up 1";
+          "# TYPE astreed_requests_total counter";
+          "astreed_requests_total{outcome=\"ok\",verb=\"analyze\"} 1";
+          "astreed_request_duration_seconds_bucket";
+          "quantile=\"0.99\"";
+        ];
+      (* /status serves the status verb's JSON, enriched *)
+      let code, body = http_get_retry port "/status" in
+      Alcotest.(check int) "status 200" 200 code;
+      (match Srv.Json.parse body with
+      | Error e -> Alcotest.failf "/status unparsable: %s" e
+      | Ok j ->
+          Alcotest.(check bool) "status has uptime" true
+            (Srv.Json.to_num (Srv.Json.member "uptime_s" j) <> None);
+          Alcotest.(check bool) "status has checkpoint age" true
+            (Srv.Json.to_num (Srv.Json.member "checkpoint_age_s" j) <> None);
+          Alcotest.(check bool) "status summarizes breakers" true
+            (Srv.Json.member "breakers" j <> Srv.Json.Null);
+          Alcotest.(check bool) "status carries latency quantiles" true
+            (Srv.Json.member "latency" j <> Srv.Json.Null));
+      let code, _ = http_get_retry port "/nothing-here" in
+      Alcotest.(check int) "unknown path 404" 404 code;
+      (* the socket protocol's status verb reports the same enrichment *)
+      let server = server_status sock in
+      Alcotest.(check bool) "verb status has breakers too" true
+        (Srv.Json.member "breakers" server <> Srv.Json.Null))
+
+let test_readyz_drain () =
+  (* a hung worker keeps one request in flight; SIGTERM starts the
+     drain; /readyz must flip to 503 while the daemon finishes *)
+  let port = test_port () in
+  with_daemon_ex ~workers:1 ~http_port:port ~hang:1.2
+    ~faults:[ (R.Faultsim.Worker_hang, 1.0) ]
+    (fun sock pid ->
+      let fd = Option.get (Srv.Client.try_connect sock) in
+      Fun.protect
+        ~finally:(fun () -> Srv.Client.close fd)
+        (fun () ->
+          send_analyze ~id:1 fd;
+          Unix.sleepf 0.2;
+          let code, _ = http_get_retry port "/readyz" in
+          Alcotest.(check int) "ready while serving" 200 code;
+          Unix.kill pid Sys.sigterm;
+          Unix.sleepf 0.2;
+          let code, body = http_get_retry port "/readyz" in
+          Alcotest.(check int) "draining answers 503" 503 code;
+          Alcotest.(check bool) "body names the reason" true
+            (has_sub body "draining");
+          (* liveness stays green through the drain *)
+          let code, _ = http_get_retry port "/healthz" in
+          Alcotest.(check int) "healthz still 200" 200 code;
+          (* the in-flight request is still delivered *)
+          let line = ok_exn (Srv.Client.read_reply (Srv.Client.reader fd)) in
+          Alcotest.(check string) "in-flight drained" "ok"
+            (Srv.Client.decode line).Srv.Client.r_status))
+
+let test_access_log_wire () =
+  (* every wire request leaves one structured line; outcomes include
+     the dedup of an attached duplicate *)
+  let log = Filename.temp_file "astreed-test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists log then Sys.remove log;
+      if Sys.file_exists (log ^ ".1") then Sys.remove (log ^ ".1"))
+    (fun () ->
+      with_daemon_ex ~workers:1 ~access_log:log (fun sock _pid ->
+          let rep =
+            ok_exn
+              (Srv.Client.request sock
+                 (analyze_json [ ("t.c", prog_simple) ]))
+          in
+          Alcotest.(check string) "analyze ok" "ok" rep.Srv.Client.r_status;
+          let rep =
+            ok_exn
+              (Srv.Client.request sock
+                 (Srv.Json.Obj [ ("verb", Srv.Json.Str "status") ]))
+          in
+          Alcotest.(check string) "status ok" "ok" rep.Srv.Client.r_status);
+      (* daemon reaped by with_daemon_ex: the log is complete *)
+      let ic = open_in log in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let records =
+        List.rev_map
+          (fun l ->
+            match Srv.Json.parse l with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "torn access-log line %s: %s" l e)
+          !lines
+      in
+      let events =
+        List.filter_map
+          (fun j -> Srv.Json.to_str (Srv.Json.member "event" j))
+          records
+      in
+      Alcotest.(check bool) "log opens with the start event" true
+        (List.mem "start" events);
+      let requests =
+        List.filter
+          (fun j ->
+            Srv.Json.to_str (Srv.Json.member "event" j) = Some "request")
+          records
+      in
+      Alcotest.(check int) "one line per request" 2 (List.length requests);
+      List.iter
+        (fun j ->
+          Alcotest.(check bool) "request line carries a rid" true
+            (match Srv.Json.to_str (Srv.Json.member "rid" j) with
+            | Some r -> r <> ""
+            | None -> false))
+        requests)
+
 let suite =
   [
     Alcotest.test_case "json codec round-trip" `Quick test_json_roundtrip;
@@ -1141,6 +1386,12 @@ let suite =
       test_supervisor_restart;
     Alcotest.test_case "chaos soak: service survives, replies exact" `Slow
       test_chaos_soak;
+    Alcotest.test_case "request ids echo end-to-end" `Quick test_rid_echo;
+    Alcotest.test_case "http telemetry endpoints" `Quick test_http_endpoints;
+    Alcotest.test_case "readyz flips 503 during drain" `Quick
+      test_readyz_drain;
+    Alcotest.test_case "access log records wire requests" `Quick
+      test_access_log_wire;
     Alcotest.test_case "multi-task requests are refused" `Quick
       test_multi_task_refused;
   ]
